@@ -1,0 +1,62 @@
+"""Fig. 3 -- the 26-transistor VCO and its nominal behaviour.
+
+Fig. 3 shows the circuit itself (V-to-I conversion, analogue switch, Schmitt
+trigger, 26 transistors, one capacitor, output node 11).  The benchmark
+verifies the structure and regenerates the fault-free 400-step / 4 us
+transient that all fault simulations are compared against.
+"""
+
+import numpy as np
+
+from repro.circuits import (
+    BLOCKS,
+    CAP_NODE,
+    DIODE_CONNECTED,
+    OUTPUT_NODE,
+    nominal_transient_settings,
+)
+from repro.spice import Mosfet, TransientAnalysis
+from repro.spice.waveform import ascii_plot
+
+
+def test_fig3_vco_nominal(benchmark, vco_pair, record):
+    circuit, layout = vco_pair
+
+    # Structure as described in section VI.
+    mosfets = circuit.devices_of_type(Mosfet)
+    assert len(mosfets) == 26
+    assert len(DIODE_CONNECTED) == 6
+    assert set(BLOCKS) == {"v_to_i", "analogue_switch", "schmitt_trigger",
+                           "output_buffer"}
+
+    settings = nominal_transient_settings()
+    result = benchmark.pedantic(
+        lambda: TransientAnalysis(circuit, **settings).run(),
+        rounds=1, iterations=1)
+
+    output = result[OUTPUT_NODE]
+    capacitor = result[CAP_NODE]
+
+    # The fault-free VCO oscillates rail-to-rail at a few MHz (Fig. 4 top).
+    assert output.oscillates(min_swing=3.0)
+    assert output.maximum() > 4.5 and output.minimum() < 0.5
+    assert 0.8e6 < output.frequency() < 3e6
+    # The timing capacitor ramps between the Schmitt thresholds.
+    assert 1.0 < capacitor.maximum() < 4.5
+
+    duty = float(np.mean(output.y > 2.5))
+    lines = [
+        "Fig. 3  VCO nominal transient (400 steps, 4 us, control voltage constant)",
+        "",
+        f"transistors            : {len(mosfets)} (6 with designed gate-drain short)",
+        f"layout                 : {len(layout)} shapes, "
+        f"{layout.area():.0f} um^2 bounding box",
+        f"oscillation frequency  : {output.frequency() / 1e6:.2f} MHz",
+        f"output swing           : {output.minimum():.2f} .. {output.maximum():.2f} V",
+        f"output duty cycle      : {duty:.2f}",
+        f"capacitor node swing   : {capacitor.minimum():.2f} .. {capacitor.maximum():.2f} V",
+        "",
+        ascii_plot([output], width=70, height=14,
+                   title="fault-free V(11) vs time (compare Fig. 4, top)"),
+    ]
+    record("fig3_vco_nominal.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,71 @@
+"""Fig. 5 -- fault coverage versus test time.
+
+The paper simulates the complete LIFT fault list of the VCO with a 400-step,
+4 us transient (constant control voltage, supply activation as stimulus) and
+plots fault coverage versus time using a tolerance of 2 V on the amplitude
+and 0.2 us on the time axis.  Their coverage reaches ~100 % after about 25 %
+of the test time and all faults are detected after about 55 %.
+
+This benchmark runs the same campaign with our LIFT list.  The absolute
+coverage differs (our generated layout contains gate opens and
+logically-redundant bridges the hand layout did not have); the *shape* --
+steep rise once the oscillator has started, long plateau afterwards -- is
+what the assertions check.
+"""
+
+from repro.anafault import (
+    CampaignSettings,
+    FaultSimulator,
+    ToleranceSettings,
+    coverage_plot,
+    format_fault_table,
+    format_overview,
+)
+from repro.circuits import OUTPUT_NODE
+
+
+def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record):
+    circuit, _layout = vco_pair
+    faults = cat_extraction.realistic_faults
+
+    settings = CampaignSettings(
+        tstop=4e-6, tstep=1e-8, use_ic=True,
+        observation_nodes=(OUTPUT_NODE,),
+        tolerances=ToleranceSettings(amplitude=2.0, time=0.2e-6))
+
+    simulator = FaultSimulator(circuit, faults, settings)
+    result = benchmark.pedantic(lambda: simulator.run(workers=2),
+                                rounds=1, iterations=1)
+
+    coverage = result.coverage()
+    curve = coverage.waveform(points=101)
+
+    # Shape checks against Fig. 5:
+    #  * a substantial fraction of the faults is detected,
+    #  * the curve is monotone and saturates: whatever is detected at all is
+    #    detected in the first ~60 % of the test time (the paper's "all
+    #    faults detected after approximately 55 %").
+    final = coverage.final_coverage()
+    assert final > 0.6
+    assert coverage.coverage_at(0.6 * settings.tstop) >= 0.9 * final
+    # Most detections happen early (steep initial rise after the oscillator
+    # start-up, cf. "after 25 % of test time the fault coverage almost
+    # reaches 100 %").
+    assert coverage.coverage_at(0.45 * settings.tstop) >= 0.7 * final
+
+    lines = [
+        "Fig. 5  fault coverage vs time (2 V amplitude, 0.2 us time tolerance)",
+        "",
+        format_overview(result),
+        "",
+        coverage_plot(result),
+        "",
+        "paper: ~100 % coverage after ~25 % of test time, all faults after ~55 %",
+        f"ours : {coverage.coverage_at(0.25 * settings.tstop):.0%} after 25 %, "
+        f"{coverage.coverage_at(0.55 * settings.tstop):.0%} after 55 %, "
+        f"final {final:.0%} "
+        "(undetected remainder: floating-gate opens and logically redundant bridges)",
+        "",
+        format_fault_table(result, limit=40),
+    ]
+    record("fig5_fault_coverage.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,94 @@
+"""Fig. 6 -- influence of the shorting-resistor value of the resistor fault
+model.
+
+The paper bridges the drain of the Schmitt-trigger transistor M11 to ground
+and sweeps the value of the shorting resistor: at 1 kOhm the waveform is
+only slightly affected, at 41 / 21 Ohm the impact becomes clearly visible
+and at 1 Ohm the oscillation stops after one cycle.  The conclusion is that
+the appropriate resistor value is strongly circuit (and location) dependent.
+
+Our Schmitt trigger runs at roughly 1000x smaller currents than the paper's
+(2 um CMOS sized for tens of uA), so the same graded transition appears at
+roughly 1000x larger resistor values -- which reinforces the paper's point.
+The benchmark sweeps the resistor from 1 MOhm down to 1 Ohm and records
+frequency, swing and detectability for each value.
+"""
+
+from repro.anafault import (
+    FaultModelOptions,
+    ToleranceSettings,
+    WaveformComparator,
+    inject_fault,
+)
+from repro.circuits import OUTPUT_NODE, nominal_transient_settings
+from repro.lift import BridgingFault
+from repro.spice import TransientAnalysis
+from repro.spice.waveform import ascii_plot
+
+#: Drain of the Schmitt-trigger input PMOS M11 (node 10) bridged to ground.
+FAULT_LOCATION = ("10", "0")
+RESISTOR_VALUES = (1e6, 100e3, 10e3, 1e3, 41.0, 21.0, 1.0)
+
+
+def _run(circuit):
+    return TransientAnalysis(circuit, **nominal_transient_settings()).run()[OUTPUT_NODE]
+
+
+def test_fig6_resistor_sweep(benchmark, vco_pair, record):
+    circuit, _layout = vco_pair
+    comparator = WaveformComparator(ToleranceSettings(2.0, 0.2e-6))
+
+    def sweep():
+        nominal = _run(circuit)
+        rows = []
+        for resistance in RESISTOR_VALUES:
+            fault = BridgingFault(6, net_a=FAULT_LOCATION[0],
+                                  net_b=FAULT_LOCATION[1],
+                                  origin_layer="metal1")
+            faulty = inject_fault(
+                circuit, fault,
+                FaultModelOptions.resistor(short_resistance=resistance))
+            wave = _run(faulty)
+            detection = comparator.compare(nominal, wave)
+            rows.append((resistance, wave, detection))
+        return nominal, rows
+
+    nominal, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    by_resistance = {r: (wave, det) for r, wave, det in rows}
+    # Largest resistor: barely any effect (oscillation survives, frequency
+    # within ~5 % of nominal, not detected under the 2 V / 0.2 us tolerance).
+    weak_wave, weak_detection = by_resistance[1e6]
+    assert weak_wave.oscillates(min_swing=3.0)
+    assert abs(weak_wave.frequency() - nominal.frequency()) < 0.1 * nominal.frequency()
+    # Smallest resistor: the oscillation stops and the fault is detected.
+    strong_wave, strong_detection = by_resistance[1.0]
+    assert not strong_wave.oscillates(min_swing=3.0)
+    assert strong_detection.detected
+    # The impact grows monotonically in between (frequency deviation).
+    deviations = [abs(wave.frequency() - nominal.frequency())
+                  for _, wave, _ in rows]
+    assert deviations[0] <= deviations[2] <= deviations[-1] + 1e3
+
+    lines = [
+        "Fig. 6  effect of the shorting-resistor value "
+        f"(bridge node {FAULT_LOCATION[0]} -> ground, drain of Schmitt transistor M11)",
+        "",
+        f"fault-free frequency: {nominal.frequency() / 1e6:.2f} MHz",
+        "",
+        f"{'R [Ohm]':>10} {'oscillates':<12} {'freq [MHz]':>11} "
+        f"{'swing [V]':>10} {'detected':<9} {'t_detect [us]':>13}",
+        "-" * 72,
+    ]
+    for resistance, wave, detection in rows:
+        t_detect = ("-" if detection.detection_time is None
+                    else f"{detection.detection_time * 1e6:.2f}")
+        lines.append(f"{resistance:>10.0f} {str(wave.oscillates(min_swing=3.0)):<12}"
+                     f"{wave.frequency() / 1e6:>11.2f} {wave.peak_to_peak():>10.2f} "
+                     f"{str(detection.detected):<9} {t_detect:>13}")
+    selected = [nominal] + [wave for r, wave, _ in rows if r in (100e3, 10e3, 1.0)]
+    for wave, label in zip(selected, ("fault free", "R=100k", "R=10k", "R=1")):
+        wave.name = label
+    lines += ["", ascii_plot(selected, width=70, height=14,
+                             title="V(11) for selected resistor values")]
+    record("fig6_resistor_sweep.txt", "\n".join(lines) + "\n")

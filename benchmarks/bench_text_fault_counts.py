@@ -1,0 +1,54 @@
+"""Section VI (text) -- schematic and LIFT fault counts for the VCO.
+
+The paper quotes: 78 possible single open faults on the transistors plus one
+on the capacitor (79 opens), 73 shorts (six transistors have a designed
+gate-drain short), and a LIFT-extracted list of 70 faults (55 bridging,
+8 line opens, 7 transistor stuck open) -- a reduction of 53 %.
+"""
+
+from repro.lift import count_schematic_faults, schematic_fault_list
+
+
+def test_text_fault_counts(benchmark, vco_pair, cat_extraction, record):
+    circuit, _layout = vco_pair
+
+    counts = benchmark(count_schematic_faults, circuit)
+
+    # Exact match with the schematic numbers quoted in the paper.
+    assert counts["opens"] == 79
+    assert counts["shorts"] == 73
+    assert counts["total"] == 152
+
+    realistic = cat_extraction.realistic_faults
+    kinds = realistic.count_by_kind()
+    categories = realistic.count_by_category()
+    reduction = cat_extraction.reduction_vs_schematic()
+
+    # The realistic list must be a genuine reduction dominated by bridging
+    # faults, with opens and transistor stuck-opens as the minority classes,
+    # and every fault carries an occurrence probability.
+    assert len(realistic) < counts["total"]
+    assert kinds["bridge"] > kinds.get("open", 0) + kinds.get("stuck_open", 0)
+    assert all(fault.probability > 0.0 for fault in realistic)
+
+    probabilities = sorted(fault.probability for fault in realistic)
+    lines = [
+        "Section VI  fault counts for the VCO",
+        "",
+        f"{'quantity':<38}{'paper':>8}{'ours':>8}",
+        "-" * 56,
+        f"{'schematic single opens':<38}{79:>8}{counts['opens']:>8}",
+        f"{'schematic single shorts':<38}{73:>8}{counts['shorts']:>8}",
+        f"{'schematic total':<38}{152:>8}{counts['total']:>8}",
+        f"{'LIFT realistic faults':<38}{70:>8}{len(realistic):>8}",
+        f"{'  bridging':<38}{55:>8}{kinds.get('bridge', 0):>8}",
+        f"{'  line opens (incl. splits)':<38}{8:>8}"
+        f"{kinds.get('open', 0) + kinds.get('split', 0):>8}",
+        f"{'  transistor stuck open':<38}{7:>8}{kinds.get('stuck_open', 0):>8}",
+        f"{'reduction vs schematic':<38}{'53%':>8}{f'{reduction:.0%}':>8}",
+        "-" * 56,
+        "categories: " + ", ".join(f"{k}: {v}" for k, v in sorted(categories.items())),
+        f"occurrence probabilities: {probabilities[0]:.1e} .. {probabilities[-1]:.1e}"
+        "  (paper: 1e-9 .. 1e-7; our generated layout has longer wires)",
+    ]
+    record("text_fault_counts.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(section VI).  Expensive artefacts are shared across benchmarks through
+session fixtures, and every benchmark writes the regenerated table/plot to
+``benchmarks/results/`` so the reproduction can be inspected after the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cat import CATFlow
+from repro.circuits import build_vco_layout
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Store a regenerated table/figure under ``benchmarks/results`` and echo
+    it to stdout."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        path = results_dir / name
+        path.write_text(text, encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def vco_pair():
+    """(schematic, layout) of the paper's VCO."""
+    return build_vco_layout()
+
+
+@pytest.fixture(scope="session")
+def cat_extraction(vco_pair):
+    """The full LIFT extraction result (Fig. 1 flow without simulation)."""
+    circuit, layout = vco_pair
+    return CATFlow(circuit, layout).extract_faults()

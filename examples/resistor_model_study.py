@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Fault-model study: resistor vs source model and the shorting-resistor value.
+
+Reproduces the two methodological observations of section VI on a reduced
+fault set:
+
+* the resistor model and the source model give (nearly) the same detection
+  verdicts (the paper: "nearly identical fault coverage plots");
+* the value chosen for the shorting resistor decides how visible a given
+  bridge is at the circuit output (Fig. 6).
+
+Run with:  python examples/resistor_model_study.py
+"""
+
+from repro.anafault import (
+    CampaignSettings,
+    FaultModelOptions,
+    FaultSimulator,
+    ToleranceSettings,
+    WaveformComparator,
+    inject_fault,
+)
+from repro.circuits import OUTPUT_NODE, build_vco, nominal_transient_settings
+from repro.lift import BridgingFault, FaultList, StuckOpenFault
+from repro.spice import TransientAnalysis
+
+
+def build_fault_list() -> FaultList:
+    faults = FaultList("model study")
+    faults.add(BridgingFault(1, probability=3e-7, net_a="1", net_b="5",
+                             origin_layer="metal1",
+                             description="supply to capacitor node"))
+    faults.add(BridgingFault(2, probability=2e-7, net_a="9", net_b="0",
+                             origin_layer="metal1",
+                             description="Schmitt internal node to ground"))
+    faults.add(BridgingFault(3, probability=1e-7, net_a="12", net_b="13",
+                             origin_layer="metal1",
+                             description="switch control lines shorted"))
+    faults.add(StuckOpenFault(4, probability=8e-8, device="M5",
+                              terminal="drain",
+                              description="charge current source stuck open"))
+    return faults
+
+
+def compare_models() -> None:
+    circuit = build_vco()
+    faults = build_fault_list()
+    print("=== resistor model vs source model ===")
+    for name, model in (("resistor", FaultModelOptions.resistor()),
+                        ("source", FaultModelOptions.source())):
+        settings = CampaignSettings(
+            tstop=4e-6, tstep=1e-8, use_ic=True,
+            observation_nodes=(OUTPUT_NODE,),
+            tolerances=ToleranceSettings(2.0, 0.2e-6), fault_model=model)
+        result = FaultSimulator(circuit, faults, settings).run()
+        verdicts = {r.fault.fault_id: r.status for r in result.records}
+        cpu = sum(r.elapsed_seconds for r in result.records)
+        print(f"{name:>9} model: coverage {result.fault_coverage():.0%}, "
+              f"CPU {cpu:.1f} s, verdicts {verdicts}")
+
+
+def sweep_resistor_value() -> None:
+    circuit = build_vco()
+    nominal = TransientAnalysis(circuit, **nominal_transient_settings()).run()[OUTPUT_NODE]
+    comparator = WaveformComparator(ToleranceSettings(2.0, 0.2e-6))
+    fault = BridgingFault(6, net_a="10", net_b="0", origin_layer="metal1",
+                          description="drain of Schmitt transistor M11 to ground")
+    print("\n=== Fig. 6 style sweep of the shorting resistor ===")
+    print(f"fault-free frequency: {nominal.frequency() / 1e6:.2f} MHz")
+    for resistance in (1e6, 100e3, 10e3, 1e3, 41.0, 1.0):
+        faulty = inject_fault(circuit, fault,
+                              FaultModelOptions.resistor(short_resistance=resistance))
+        wave = TransientAnalysis(faulty, **nominal_transient_settings()).run()[OUTPUT_NODE]
+        detection = comparator.compare(nominal, wave)
+        print(f"R = {resistance:>9.0f} Ohm: oscillates={wave.oscillates(min_swing=3.0)!s:<5} "
+              f"f={wave.frequency() / 1e6:5.2f} MHz  detected={detection.detected}")
+
+
+def main() -> None:
+    compare_models()
+    sweep_resistor_value()
+
+
+if __name__ == "__main__":
+    main()

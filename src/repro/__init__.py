@@ -1,0 +1,26 @@
+"""repro: reproduction of the DATE 1995 LIFT + AnaFAULT CAT environment.
+
+The package is organised as in the paper:
+
+* :mod:`repro.spice` -- the kernel analogue simulator substrate,
+* :mod:`repro.layout`, :mod:`repro.extract` -- layout database and circuit
+  extraction,
+* :mod:`repro.defects` -- defect statistics and critical-area analysis,
+* :mod:`repro.lift` -- realistic fault extraction (GLRFM / L2RFM),
+* :mod:`repro.anafault` -- automatic analogue fault simulation,
+* :mod:`repro.circuits` -- the VCO test case and auxiliary circuits,
+* :mod:`repro.cat` -- the end-to-end CAT flow gluing everything together.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "spice",
+    "layout",
+    "extract",
+    "defects",
+    "lift",
+    "anafault",
+    "circuits",
+    "cat",
+]

@@ -1,0 +1,61 @@
+"""AnaFAULT: automatic analogue fault simulation."""
+
+from .models import (
+    DEFAULT_OPEN_RESISTANCE,
+    DEFAULT_SHORT_RESISTANCE,
+    RESISTOR_MODEL,
+    SOURCE_MODEL,
+    FaultModelOptions,
+)
+from .injection import FaultInjector, inject_fault
+from .comparator import DetectionResult, ToleranceSettings, WaveformComparator
+from .coverage import CoveragePoint, FaultCoverage
+from .simulator import (
+    STATUS_DETECTED,
+    STATUS_INJECTION_FAILED,
+    STATUS_SIM_FAILED,
+    STATUS_UNDETECTED,
+    CampaignResult,
+    CampaignSettings,
+    FaultSimulationRecord,
+    FaultSimulator,
+    run_campaign,
+)
+from .report import (
+    coverage_plot,
+    format_fault_table,
+    format_overview,
+    full_report,
+    waveform_plot,
+)
+from .parallel import run_faults_parallel
+
+__all__ = [
+    "FaultModelOptions",
+    "RESISTOR_MODEL",
+    "SOURCE_MODEL",
+    "DEFAULT_SHORT_RESISTANCE",
+    "DEFAULT_OPEN_RESISTANCE",
+    "FaultInjector",
+    "inject_fault",
+    "ToleranceSettings",
+    "WaveformComparator",
+    "DetectionResult",
+    "FaultCoverage",
+    "CoveragePoint",
+    "CampaignSettings",
+    "CampaignResult",
+    "FaultSimulationRecord",
+    "FaultSimulator",
+    "run_campaign",
+    "STATUS_DETECTED",
+    "STATUS_UNDETECTED",
+    "STATUS_SIM_FAILED",
+    "STATUS_INJECTION_FAILED",
+    "format_fault_table",
+    "format_overview",
+    "coverage_plot",
+    "waveform_plot",
+    "full_report",
+    "run_faults_parallel",
+]

@@ -1,0 +1,112 @@
+"""Tolerance-based comparison of faulty and fault-free responses.
+
+Fig. 5 of the paper uses a tolerance of 2 V on the amplitude and 0.2 us on
+the time axis: a fault is considered *detected* at time t when the faulty
+response has differed from the fault-free response by more than the
+amplitude tolerance *continuously for at least the time tolerance*.  The
+time tolerance acts as a persistence (glitch) filter: brief edge
+misalignments caused by sampling or small phase shifts are not flagged,
+while a stuck output or an accumulated frequency drift eventually violates
+the band for longer than 0.2 us and is detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..spice.waveform import Waveform
+
+
+@dataclass
+class ToleranceSettings:
+    """Detection tolerances (defaults as in Fig. 5)."""
+
+    amplitude: float = 2.0
+    time: float = 0.2e-6
+
+    def __post_init__(self):
+        if self.amplitude < 0.0 or self.time < 0.0:
+            raise ValueError("tolerances must be non-negative")
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of comparing one faulty waveform against the reference."""
+
+    detected: bool
+    detection_time: float | None
+    max_deviation: float
+    signal: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.detected
+
+
+class WaveformComparator:
+    """Compare waveforms under amplitude/time tolerances."""
+
+    def __init__(self, tolerances: ToleranceSettings | None = None):
+        self.tolerances = tolerances or ToleranceSettings()
+
+    # ------------------------------------------------------------------
+    def deviation(self, nominal: Waveform, faulty: Waveform) -> np.ndarray:
+        """Per-sample absolute deviation of ``faulty`` from ``nominal``
+        (the nominal waveform is interpolated onto the faulty time grid)."""
+        nominal_y = nominal.values_at(faulty.x)
+        return np.abs(np.asarray(faulty.y, dtype=float) - nominal_y)
+
+    def _persistence_window(self, times: np.ndarray) -> int:
+        if times.size < 2 or self.tolerances.time <= 0.0:
+            return 1
+        dt = float(np.median(np.diff(times)))
+        if dt <= 0.0:
+            return 1
+        return max(1, int(round(self.tolerances.time / dt)))
+
+    def compare(self, nominal: Waveform, faulty: Waveform,
+                signal: str = "") -> DetectionResult:
+        """Return when (if ever) the faulty waveform violates the amplitude
+        tolerance for at least the time tolerance."""
+        deviation = self.deviation(nominal, faulty)
+        exceeds = deviation > self.tolerances.amplitude
+        max_deviation = float(deviation.max()) if deviation.size else 0.0
+        if not np.any(exceeds):
+            return DetectionResult(False, None, max_deviation, signal)
+        window = self._persistence_window(faulty.x)
+        if window <= 1:
+            first = int(np.argmax(exceeds))
+            return DetectionResult(True, float(faulty.x[first]), max_deviation,
+                                   signal)
+        # Length of the run of consecutive violations ending at each sample.
+        run = np.zeros(exceeds.size, dtype=int)
+        count = 0
+        for index, flag in enumerate(exceeds):
+            count = count + 1 if flag else 0
+            run[index] = count
+        hits = np.nonzero(run >= window)[0]
+        if hits.size == 0:
+            return DetectionResult(False, None, max_deviation, signal)
+        return DetectionResult(True, float(faulty.x[int(hits[0])]),
+                               max_deviation, signal)
+
+    def compare_many(self, nominal: dict[str, Waveform],
+                     faulty: dict[str, Waveform]) -> DetectionResult:
+        """Compare several observation signals; detection on any one counts.
+
+        Returns the earliest detection over all signals.
+        """
+        best: DetectionResult | None = None
+        worst_deviation = 0.0
+        for signal, nominal_wave in nominal.items():
+            if signal not in faulty:
+                continue
+            result = self.compare(nominal_wave, faulty[signal], signal)
+            worst_deviation = max(worst_deviation, result.max_deviation)
+            if result.detected and (best is None or best.detection_time is None
+                                    or result.detection_time < best.detection_time):
+                best = result
+        if best is not None:
+            return best
+        return DetectionResult(False, None, worst_deviation)

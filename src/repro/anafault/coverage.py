@@ -1,0 +1,110 @@
+"""Fault coverage versus test time (Fig. 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..spice.waveform import Waveform
+
+
+@dataclass
+class CoveragePoint:
+    """One point of the coverage curve."""
+
+    time: float
+    coverage: float
+    weighted_coverage: float
+
+
+@dataclass
+class FaultCoverage:
+    """Coverage curve computed from per-fault detection times."""
+
+    total_faults: int
+    detection_times: dict[int, float] = field(default_factory=dict)
+    probabilities: dict[int, float] = field(default_factory=dict)
+    end_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def detected_faults(self) -> int:
+        return len(self.detection_times)
+
+    def final_coverage(self) -> float:
+        if self.total_faults == 0:
+            return 0.0
+        return self.detected_faults / self.total_faults
+
+    def final_weighted_coverage(self) -> float:
+        total = sum(self.probabilities.values())
+        if total <= 0.0:
+            return self.final_coverage()
+        covered = sum(p for fid, p in self.probabilities.items()
+                      if fid in self.detection_times)
+        return covered / total
+
+    # ------------------------------------------------------------------
+    def coverage_at(self, time: float) -> float:
+        if self.total_faults == 0:
+            return 0.0
+        detected = sum(1 for t in self.detection_times.values() if t <= time)
+        return detected / self.total_faults
+
+    def weighted_coverage_at(self, time: float) -> float:
+        total = sum(self.probabilities.values())
+        if total <= 0.0:
+            return self.coverage_at(time)
+        covered = sum(self.probabilities.get(fid, 0.0)
+                      for fid, t in self.detection_times.items() if t <= time)
+        return covered / total
+
+    def curve(self, points: int = 101) -> list[CoveragePoint]:
+        end = self.end_time or (max(self.detection_times.values(), default=0.0))
+        times = np.linspace(0.0, end, points)
+        return [CoveragePoint(float(t), self.coverage_at(t),
+                              self.weighted_coverage_at(t)) for t in times]
+
+    def waveform(self, points: int = 101, weighted: bool = False,
+                 percent_time: bool = True) -> Waveform:
+        """The coverage curve as a Waveform (x in % of test time by default,
+        y in percent coverage) -- directly comparable to Fig. 5."""
+        curve = self.curve(points)
+        end = self.end_time or (curve[-1].time if curve else 1.0)
+        xs = [100.0 * p.time / end if percent_time and end else p.time
+              for p in curve]
+        ys = [100.0 * (p.weighted_coverage if weighted else p.coverage)
+              for p in curve]
+        return Waveform(xs, ys, name="fault coverage", unit="%",
+                        x_unit="% of test time" if percent_time else "s")
+
+    # ------------------------------------------------------------------
+    def time_to_coverage(self, target: float) -> float | None:
+        """Earliest time at which the coverage reaches ``target`` (0..1)."""
+        if self.total_faults == 0:
+            return None
+        times = sorted(self.detection_times.values())
+        for index, time in enumerate(times, start=1):
+            if index / self.total_faults >= target:
+                return time
+        return None
+
+    def fraction_of_test_time_to_coverage(self, target: float) -> float | None:
+        time = self.time_to_coverage(target)
+        if time is None or not self.end_time:
+            return None
+        return time / self.end_time
+
+    def summary(self) -> dict[str, float | None]:
+        return {
+            "total_faults": self.total_faults,
+            "detected_faults": self.detected_faults,
+            "final_coverage": self.final_coverage(),
+            "final_weighted_coverage": self.final_weighted_coverage(),
+            "time_to_50pct": self.time_to_coverage(0.50),
+            "time_to_90pct": self.time_to_coverage(0.90),
+            "time_to_99pct": self.time_to_coverage(0.99),
+            "time_to_100pct": self.time_to_coverage(1.00),
+            "end_time": self.end_time,
+        }

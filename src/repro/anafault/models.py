@@ -1,0 +1,55 @@
+"""Fault simulation models (section V / VI of the paper).
+
+Hard faults can be simulated with two interchangeable models:
+
+* the **resistor model** -- a short is a small resistor (default 0.01 Ohm)
+  across the two nets, an open is a large resistor (default 100 MOhm) in
+  series with the disconnected terminal;
+* the **source model** -- a short is an ideal 0 V voltage source (which also
+  exposes the short-circuit current as a branch current), an open is an
+  ideal 0 A current source.
+
+The paper reports that both give nearly identical fault coverage, with the
+source model costing roughly 43 % more simulation time, and that the choice
+of the shorting resistor value can strongly affect the observed waveform
+(Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultError
+
+RESISTOR_MODEL = "resistor"
+SOURCE_MODEL = "source"
+
+#: Default shorting resistance of the resistor model [Ohm] (paper: 0.01).
+DEFAULT_SHORT_RESISTANCE = 0.01
+#: Default opening resistance of the resistor model [Ohm] (paper: 100 MOhm).
+DEFAULT_OPEN_RESISTANCE = 100e6
+
+
+@dataclass
+class FaultModelOptions:
+    """How hard faults are turned into circuit elements."""
+
+    model: str = RESISTOR_MODEL
+    short_resistance: float = DEFAULT_SHORT_RESISTANCE
+    open_resistance: float = DEFAULT_OPEN_RESISTANCE
+
+    def __post_init__(self):
+        if self.model not in (RESISTOR_MODEL, SOURCE_MODEL):
+            raise FaultError(f"unknown fault model {self.model!r}")
+        if self.short_resistance < 0.0 or self.open_resistance <= 0.0:
+            raise FaultError("fault model resistances must be positive")
+
+    @classmethod
+    def resistor(cls, short_resistance: float = DEFAULT_SHORT_RESISTANCE,
+                 open_resistance: float = DEFAULT_OPEN_RESISTANCE
+                 ) -> "FaultModelOptions":
+        return cls(RESISTOR_MODEL, short_resistance, open_resistance)
+
+    @classmethod
+    def source(cls) -> "FaultModelOptions":
+        return cls(SOURCE_MODEL)

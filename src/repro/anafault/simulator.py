@@ -1,0 +1,216 @@
+"""The AnaFAULT campaign manager.
+
+The automatic fault simulation runs in the repetitive three-phase cycle
+described in section V of the paper:
+
+1. *preprocessing* -- the fault is injected into a copy of the input circuit
+   (:mod:`repro.anafault.injection`),
+2. *kernel simulation* -- the transient analysis of
+   :mod:`repro.spice.analysis` plays the role of the ELDO kernel,
+3. *post-processing* -- the response is compared against the fault-free
+   ("nominal") simulation under amplitude/time tolerances and the detection
+   statistics are accumulated.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from ..errors import CampaignError, ConvergenceError, SingularMatrixError
+from ..lift.faultlist import FaultList
+from ..lift.faults import Fault
+from ..spice import Circuit, SimulationOptions, TransientAnalysis
+from ..spice.waveform import Waveform
+from .comparator import DetectionResult, ToleranceSettings, WaveformComparator
+from .coverage import FaultCoverage
+from .injection import FaultInjector
+from .models import FaultModelOptions
+
+#: Status values of a fault simulation record.
+STATUS_DETECTED = "detected"
+STATUS_UNDETECTED = "undetected"
+STATUS_SIM_FAILED = "sim_failed"
+STATUS_INJECTION_FAILED = "injection_failed"
+
+
+@dataclass
+class CampaignSettings:
+    """Everything needed to run one fault simulation campaign."""
+
+    #: Transient stop time [s] (paper: 4 us).
+    tstop: float = 4e-6
+    #: Transient print step [s] (paper: 400 steps -> 10 ns).
+    tstep: float = 1e-8
+    #: Start from initial conditions instead of a DC operating point.
+    use_ic: bool = True
+    #: Node voltages observed by the comparator (paper: node 11).
+    observation_nodes: tuple[str, ...] = ("11",)
+    #: Initial node voltages when ``use_ic`` is set.
+    initial_conditions: dict = field(default_factory=dict)
+    tolerances: ToleranceSettings = field(default_factory=ToleranceSettings)
+    fault_model: FaultModelOptions = field(default_factory=FaultModelOptions)
+    simulator_options: SimulationOptions = field(default_factory=SimulationOptions)
+    #: Count faults whose simulation fails to converge as detected (a fault
+    #: that destroys the operating region is trivially observable).
+    count_failed_as_detected: bool = True
+
+
+@dataclass
+class FaultSimulationRecord:
+    """Result of simulating one fault."""
+
+    fault: Fault
+    status: str
+    detection_time: float | None = None
+    detected_on: str = ""
+    max_deviation: float = 0.0
+    elapsed_seconds: float = 0.0
+    message: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.status == STATUS_DETECTED
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate result of a fault simulation campaign."""
+
+    settings: CampaignSettings
+    fault_list: FaultList
+    records: list[FaultSimulationRecord] = field(default_factory=list)
+    nominal: dict[str, Waveform] = field(default_factory=dict)
+    nominal_elapsed_seconds: float = 0.0
+    total_elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def record_for(self, fault_id: int) -> FaultSimulationRecord:
+        for record in self.records:
+            if record.fault.fault_id == fault_id:
+                return record
+        raise CampaignError(f"no record for fault id {fault_id}")
+
+    def detected_ids(self) -> set[int]:
+        return {r.fault.fault_id for r in self.records if r.detected}
+
+    def count_by_status(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def coverage(self) -> FaultCoverage:
+        detection_times = {r.fault.fault_id: r.detection_time
+                           for r in self.records
+                           if r.detected and r.detection_time is not None}
+        probabilities = {r.fault.fault_id: r.fault.probability
+                         for r in self.records}
+        return FaultCoverage(total_faults=len(self.records),
+                             detection_times=detection_times,
+                             probabilities=probabilities,
+                             end_time=self.settings.tstop)
+
+    def fault_coverage(self) -> float:
+        return self.coverage().final_coverage()
+
+
+class FaultSimulator:
+    """Run a fault simulation campaign for one circuit and fault list."""
+
+    def __init__(self, circuit: Circuit, fault_list: FaultList,
+                 settings: CampaignSettings | None = None):
+        if not len(fault_list):
+            raise CampaignError("the fault list is empty")
+        self.circuit = circuit
+        self.fault_list = fault_list
+        self.settings = settings or CampaignSettings()
+        self.injector = FaultInjector(circuit, self.settings.fault_model)
+        self._comparator = WaveformComparator(self.settings.tolerances)
+
+    # ------------------------------------------------------------------
+    def _run_transient(self, circuit: Circuit) -> dict[str, Waveform]:
+        settings = self.settings
+        analysis = TransientAnalysis(
+            circuit, tstop=settings.tstop, tstep=settings.tstep,
+            options=settings.simulator_options, use_ic=settings.use_ic,
+            initial_conditions=settings.initial_conditions)
+        result = analysis.run()
+        waveforms = {}
+        for node in settings.observation_nodes:
+            waveforms[node] = result.waveform(node)
+        return waveforms
+
+    def run_nominal(self) -> dict[str, Waveform]:
+        """Run (and cache) the fault-free simulation."""
+        start = _time.perf_counter()
+        nominal = self._run_transient(self.circuit)
+        self._nominal_elapsed = _time.perf_counter() - start
+        return nominal
+
+    def simulate_fault(self, fault: Fault,
+                       nominal: dict[str, Waveform]) -> FaultSimulationRecord:
+        """Inject, simulate and classify a single fault."""
+        start = _time.perf_counter()
+        try:
+            faulty_circuit = self.injector.inject(fault)
+        except Exception as exc:
+            return FaultSimulationRecord(
+                fault, STATUS_INJECTION_FAILED, message=str(exc),
+                elapsed_seconds=_time.perf_counter() - start)
+        try:
+            faulty = self._run_transient(faulty_circuit)
+        except (ConvergenceError, SingularMatrixError) as exc:
+            status = (STATUS_DETECTED if self.settings.count_failed_as_detected
+                      else STATUS_SIM_FAILED)
+            detection = 0.0 if status == STATUS_DETECTED else None
+            return FaultSimulationRecord(
+                fault, status, detection_time=detection, message=str(exc),
+                elapsed_seconds=_time.perf_counter() - start)
+        comparison: DetectionResult = self._comparator.compare_many(nominal, faulty)
+        elapsed = _time.perf_counter() - start
+        if comparison.detected:
+            return FaultSimulationRecord(
+                fault, STATUS_DETECTED, detection_time=comparison.detection_time,
+                detected_on=comparison.signal,
+                max_deviation=comparison.max_deviation, elapsed_seconds=elapsed)
+        return FaultSimulationRecord(
+            fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
+            elapsed_seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    def run(self, workers: int = 1,
+            progress_callback=None) -> CampaignResult:
+        """Run the whole campaign.
+
+        ``workers > 1`` distributes fault simulations over a process pool
+        (section II mentions the workstation-cluster parallelisation of
+        AnaFAULT; fault-level parallelism is embarrassingly parallel).
+        """
+        start = _time.perf_counter()
+        nominal = self.run_nominal()
+        result = CampaignResult(settings=self.settings,
+                                fault_list=self.fault_list,
+                                nominal=nominal,
+                                nominal_elapsed_seconds=self._nominal_elapsed)
+        if workers <= 1:
+            for index, fault in enumerate(self.fault_list, start=1):
+                record = self.simulate_fault(fault, nominal)
+                result.records.append(record)
+                if progress_callback is not None:
+                    progress_callback(index, len(self.fault_list), record)
+        else:
+            from .parallel import run_faults_parallel
+
+            result.records = run_faults_parallel(
+                self.circuit, list(self.fault_list), self.settings, nominal,
+                workers)
+        result.total_elapsed_seconds = _time.perf_counter() - start
+        return result
+
+
+def run_campaign(circuit: Circuit, fault_list: FaultList,
+                 settings: CampaignSettings | None = None,
+                 workers: int = 1) -> CampaignResult:
+    """Convenience wrapper: build a :class:`FaultSimulator` and run it."""
+    return FaultSimulator(circuit, fault_list, settings).run(workers=workers)

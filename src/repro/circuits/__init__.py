@@ -1,0 +1,49 @@
+"""Reference circuits: the paper's VCO plus auxiliary cells used by the
+examples and the test suite."""
+
+from .models import VDD_NOMINAL, add_default_models, nmos_model, pmos_model
+from .vco import (
+    BLOCKS,
+    CAP_NAME,
+    CAP_NODE,
+    CONTROL_NODE,
+    DIODE_CONNECTED,
+    OUTPUT_NODE,
+    VCOParameters,
+    VDD_NODE,
+    build_vco,
+    nominal_transient_settings,
+    transistor_table,
+)
+from .vco_layout import build_vco_layout
+from .library import (
+    build_cmos_inverter,
+    build_current_mirror,
+    build_differential_pair,
+    build_rc_lowpass,
+    build_schmitt_trigger,
+)
+
+__all__ = [
+    "VDD_NOMINAL",
+    "add_default_models",
+    "nmos_model",
+    "pmos_model",
+    "BLOCKS",
+    "CAP_NAME",
+    "CAP_NODE",
+    "CONTROL_NODE",
+    "DIODE_CONNECTED",
+    "OUTPUT_NODE",
+    "VDD_NODE",
+    "VCOParameters",
+    "build_vco",
+    "nominal_transient_settings",
+    "transistor_table",
+    "build_vco_layout",
+    "build_cmos_inverter",
+    "build_current_mirror",
+    "build_differential_pair",
+    "build_rc_lowpass",
+    "build_schmitt_trigger",
+]

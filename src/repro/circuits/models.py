@@ -1,0 +1,60 @@
+"""Shared device model cards for the single-poly double-metal CMOS process.
+
+The paper's VCO was fabricated in a 1990s-era single-poly, double-metal CMOS
+technology; the level-1 parameters below are representative of a 2 um process
+of that generation and are used by every circuit generator in
+:mod:`repro.circuits`.
+"""
+
+from __future__ import annotations
+
+from ..spice import Circuit, Model
+
+#: Nominal supply voltage of the technology [V].
+VDD_NOMINAL = 5.0
+#: Minimum drawn channel length [m].
+L_MIN = 2.0e-6
+
+
+def nmos_model(name: str = "nch", **overrides) -> Model:
+    """Level-1 NMOS model card of the reference process."""
+    params = {
+        "vto": 0.8,
+        "kp": 50e-6,
+        "gamma": 0.4,
+        "phi": 0.65,
+        "lambda": 0.02,
+        "tox": 40e-9,
+        "cgso": 3.0e-10,
+        "cgdo": 3.0e-10,
+        "cj": 3.0e-4,
+        "cjsw": 2.5e-10,
+    }
+    params.update(overrides)
+    return Model(name, "nmos", **params)
+
+
+def pmos_model(name: str = "pch", **overrides) -> Model:
+    """Level-1 PMOS model card of the reference process."""
+    params = {
+        "vto": 0.8,
+        "kp": 20e-6,
+        "gamma": 0.5,
+        "phi": 0.65,
+        "lambda": 0.02,
+        "tox": 40e-9,
+        "cgso": 3.0e-10,
+        "cgdo": 3.0e-10,
+        "cj": 3.5e-4,
+        "cjsw": 3.0e-10,
+    }
+    params.update(overrides)
+    return Model(name, "pmos", **params)
+
+
+def add_default_models(circuit: Circuit, nmos_name: str = "nch",
+                       pmos_name: str = "pch") -> Circuit:
+    """Attach the default NMOS/PMOS model cards to a circuit."""
+    circuit.add_model(nmos_model(nmos_name))
+    circuit.add_model(pmos_model(pmos_name))
+    return circuit

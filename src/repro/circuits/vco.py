@@ -1,0 +1,174 @@
+"""The 26-transistor CMOS voltage-controlled oscillator of the paper (Fig. 3).
+
+The VCO is a relaxation oscillator with three functional blocks:
+
+* **V-to-I conversion** -- the control voltage sets a bias current through a
+  degenerated NMOS; PMOS/NMOS mirrors derive the capacitor charge current
+  and a (larger) discharge sink current.
+* **Analogue switch** -- a transmission gate that connects the timing
+  capacitor to the discharge sink during the discharge phase.
+* **Schmitt trigger** -- a classic 6-transistor CMOS Schmitt trigger senses
+  the capacitor voltage; its output (via two inverters) drives the switch and
+  the output buffer.
+
+As in the fabricated circuit of the paper the oscillator has 26 transistors,
+exactly six of which are designed with a gate-drain short (diode-connected),
+plus one timing capacitor.  The observation node is node ``11``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spice import Capacitor, Circuit, Mosfet, Resistor, VoltageSource
+from ..spice.devices import DCShape, PWLShape
+from .models import VDD_NOMINAL, add_default_models
+
+#: Node carrying the buffered oscillator output (as in the paper's Fig. 4/5).
+OUTPUT_NODE = "11"
+#: Node of the timing capacitor.
+CAP_NODE = "5"
+#: Supply node.
+VDD_NODE = "1"
+#: Control-voltage node.
+CONTROL_NODE = "2"
+#: Name of the timing capacitor.
+CAP_NAME = "C1"
+
+#: Functional blocks of the VCO (Fig. 3) and their transistors.
+BLOCKS = {
+    "v_to_i": ["M1", "M2", "M3", "M4", "M5", "M6", "M7", "M8", "M9", "M10"],
+    "analogue_switch": ["M21", "M22", "M17", "M18", "M19", "M20"],
+    "schmitt_trigger": ["M11", "M12", "M13", "M14", "M15", "M16"],
+    "output_buffer": ["M23", "M24", "M25", "M26"],
+}
+
+#: Transistors designed with a gate-drain short (diode-connected); shorts
+#: between gate and drain of these devices are not faults (already connected).
+DIODE_CONNECTED = ["M2", "M3", "M4", "M7", "M8", "M10"]
+
+
+@dataclass
+class VCOParameters:
+    """Electrical parameters of the generated VCO."""
+
+    vdd: float = VDD_NOMINAL
+    control_voltage: float = 3.0
+    timing_capacitance: float = 6.0e-12
+    #: Rise time of the supply "activation" ramp [s]; 0 gives a DC supply.
+    supply_ramp: float = 2.0e-8
+    #: Source resistance of the supply (package + supply net) [Ohm].
+    supply_resistance: float = 25.0
+    #: Source resistance of the control-voltage source [Ohm].
+    control_resistance: float = 1.0e3
+    #: Drawn channel length [m].
+    length: float = 2.0e-6
+    #: Width overrides per device name (metres).
+    width_overrides: dict = field(default_factory=dict)
+
+
+#: Device table: name -> (model, drain, gate, source, bulk, width[m], role)
+_VCO_TRANSISTORS = [
+    # --- V-to-I conversion and current mirrors --------------------------
+    ("M1", "nch", "3", "2", "7", "0", 6e-6, "v-to-i input"),
+    ("M2", "nch", "7", "7", "0", "0", 6e-6, "source degeneration diode"),
+    ("M3", "pch", "3", "3", "1", "1", 10e-6, "p-mirror diode (a)"),
+    ("M4", "pch", "3", "3", "1", "1", 10e-6, "p-mirror diode (b)"),
+    ("M5", "pch", "5", "3", "1", "1", 10e-6, "charge current source"),
+    ("M6", "pch", "4", "3", "1", "1", 20e-6, "mirror branch to n-diode"),
+    ("M7", "nch", "4", "4", "0", "0", 5e-6, "n-mirror diode (a)"),
+    ("M8", "nch", "4", "4", "0", "0", 5e-6, "n-mirror diode (b)"),
+    ("M9", "nch", "15", "4", "0", "0", 10e-6, "discharge current sink"),
+    ("M10", "nch", "6", "6", "15", "0", 20e-6, "discharge series diode"),
+    # --- Schmitt trigger -------------------------------------------------
+    ("M11", "pch", "10", "5", "1", "1", 12e-6, "schmitt p input"),
+    ("M12", "pch", "8", "5", "10", "1", 12e-6, "schmitt p stack"),
+    ("M13", "pch", "0", "8", "10", "1", 6e-6, "schmitt p feedback"),
+    ("M14", "nch", "9", "5", "0", "0", 6e-6, "schmitt n input"),
+    ("M15", "nch", "8", "5", "9", "0", 6e-6, "schmitt n stack"),
+    ("M16", "nch", "1", "8", "9", "0", 3e-6, "schmitt n feedback"),
+    # --- Switch control inverters and transmission gate ------------------
+    ("M17", "nch", "12", "8", "0", "0", 4e-6, "inv1 n"),
+    ("M18", "pch", "12", "8", "1", "1", 8e-6, "inv1 p"),
+    ("M19", "nch", "13", "12", "0", "0", 4e-6, "inv2 n"),
+    ("M20", "pch", "13", "12", "1", "1", 8e-6, "inv2 p"),
+    ("M21", "nch", "5", "12", "6", "0", 10e-6, "switch nmos"),
+    ("M22", "pch", "6", "13", "5", "1", 20e-6, "switch pmos"),
+    # --- Output buffer ----------------------------------------------------
+    ("M23", "nch", "14", "12", "0", "0", 6e-6, "buffer inv1 n"),
+    ("M24", "pch", "14", "12", "1", "1", 12e-6, "buffer inv1 p"),
+    ("M25", "nch", "11", "14", "0", "0", 6e-6, "buffer inv2 n"),
+    ("M26", "pch", "11", "14", "1", "1", 12e-6, "buffer inv2 p"),
+]
+
+
+def transistor_table() -> list[tuple]:
+    """Return the VCO transistor table (name, model, d, g, s, b, w, role)."""
+    return list(_VCO_TRANSISTORS)
+
+
+def build_vco(params: VCOParameters | None = None) -> Circuit:
+    """Construct the VCO circuit of Fig. 3.
+
+    The returned circuit contains the supply source ``VDD``, the control
+    voltage source ``VCTRL``, 26 MOSFETs and the timing capacitor ``C1``.
+    Block membership and the diode-connected device list are stored in
+    ``circuit.metadata``.
+    """
+    params = params or VCOParameters()
+    circuit = Circuit("CMOS relaxation VCO (Sebeke/Teixeira/Ohletz, DATE'95 Fig. 3)")
+    add_default_models(circuit)
+
+    if params.supply_ramp > 0.0:
+        supply_shape = PWLShape([(0.0, 0.0), (params.supply_ramp, params.vdd)])
+    else:
+        supply_shape = DCShape(params.vdd)
+    # The supply and control sources see the chip through realistic source
+    # resistances (package, probe and supply-net impedance).  These
+    # "environment" elements are not part of the IC: they are excluded from
+    # fault enumeration and from the layout.
+    environment: list[str] = []
+    if params.supply_resistance > 0.0:
+        circuit.add(VoltageSource("VDD", "1_src", "0", supply_shape))
+        circuit.add(Resistor("RVDD", "1_src", VDD_NODE, params.supply_resistance))
+        environment.extend(["RVDD"])
+    else:
+        circuit.add(VoltageSource("VDD", VDD_NODE, "0", supply_shape))
+    if params.control_resistance > 0.0:
+        circuit.add(VoltageSource("VCTRL", "2_src", "0",
+                                  DCShape(params.control_voltage)))
+        circuit.add(Resistor("RCTRL", "2_src", CONTROL_NODE,
+                             params.control_resistance))
+        environment.extend(["RCTRL"])
+    else:
+        circuit.add(VoltageSource("VCTRL", CONTROL_NODE, "0",
+                                  DCShape(params.control_voltage)))
+    circuit.metadata["environment_devices"] = environment
+
+    for name, model, drain, gate, source, bulk, width, _role in _VCO_TRANSISTORS:
+        width = params.width_overrides.get(name, width)
+        area = width * 5e-6  # drain/source diffusion area estimate
+        circuit.add(Mosfet(name, drain, gate, source, bulk, model,
+                           w=width, l=params.length,
+                           ad=area, as_=area,
+                           pd=2 * (width + 5e-6), ps=2 * (width + 5e-6)))
+
+    circuit.add(Capacitor(CAP_NAME, CAP_NODE, "0", params.timing_capacitance))
+
+    circuit.metadata["blocks"] = {k: list(v) for k, v in BLOCKS.items()}
+    circuit.metadata["diode_connected"] = list(DIODE_CONNECTED)
+    circuit.metadata["output_node"] = OUTPUT_NODE
+    circuit.metadata["device_roles"] = {row[0]: row[7] for row in _VCO_TRANSISTORS}
+    circuit.metadata["parameters"] = params
+    return circuit
+
+
+def nominal_transient_settings(total_time: float = 4e-6,
+                               steps: int = 400) -> dict:
+    """Return the transient settings used throughout the paper's section VI:
+    a 400-step, 4 us simulation started from a discharged circuit."""
+    return {
+        "tstop": total_time,
+        "tstep": total_time / steps,
+        "use_ic": True,
+    }

@@ -1,0 +1,52 @@
+"""Defect modelling: statistics (Tab. 1), size distribution, critical areas
+and Monte-Carlo spot-defect sampling."""
+
+from .statistics import (
+    DEFAULT_REFERENCE_DENSITY,
+    OPEN,
+    SHORT,
+    TABLE_1,
+    DefectSizeDistribution,
+    DefectStatistics,
+    FailureMechanism,
+)
+from .critical_area import (
+    bridge_critical_area,
+    contact_open_critical_area,
+    facing_geometry,
+    failure_probability,
+    open_critical_area,
+    weighted_bridge_area,
+    weighted_contact_area,
+    weighted_open_area,
+    wire_dimensions,
+)
+from .spot import (
+    MonteCarloResult,
+    SpotDefect,
+    SpotDefectOutcome,
+    SpotDefectSampler,
+)
+
+__all__ = [
+    "DEFAULT_REFERENCE_DENSITY",
+    "OPEN",
+    "SHORT",
+    "TABLE_1",
+    "DefectSizeDistribution",
+    "DefectStatistics",
+    "FailureMechanism",
+    "bridge_critical_area",
+    "open_critical_area",
+    "contact_open_critical_area",
+    "weighted_bridge_area",
+    "weighted_open_area",
+    "weighted_contact_area",
+    "failure_probability",
+    "facing_geometry",
+    "wire_dimensions",
+    "MonteCarloResult",
+    "SpotDefect",
+    "SpotDefectOutcome",
+    "SpotDefectSampler",
+]

@@ -1,0 +1,109 @@
+"""Critical-area evaluation (Stapper-style) for shorts, opens and contacts.
+
+The *critical area* A_c(x) of a failure opportunity is the area in which the
+centre of a spot defect of diameter ``x`` must fall to cause the failure.
+Weighting A_c(x) with the defect-size distribution and multiplying by the
+defect density of the corresponding failure mechanism yields the probability
+of occurrence of the resulting fault (the ``p_j`` of the paper, typically
+1e-7 .. 1e-9 per fault).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.geometry import Rect
+from ..units import um_to_cm2
+from .statistics import DefectSizeDistribution
+
+
+# ---------------------------------------------------------------------------
+# Raw critical-area expressions (sizes and lengths in micrometres)
+# ---------------------------------------------------------------------------
+
+def bridge_critical_area(x, spacing: float, facing_length: float):
+    """Critical area for a short between two parallel wires.
+
+    Parameters
+    ----------
+    x:
+        Defect diameter(s) [um] (scalar or array).
+    spacing:
+        Edge-to-edge spacing between the two wires [um].
+    facing_length:
+        Length over which the wires run parallel [um].
+    """
+    x = np.asarray(x, dtype=float)
+    excess = np.maximum(x - spacing, 0.0)
+    return excess * (facing_length + excess)
+
+
+def open_critical_area(x, width: float, length: float):
+    """Critical area for an open of a wire of the given width and length."""
+    x = np.asarray(x, dtype=float)
+    excess = np.maximum(x - width, 0.0)
+    return excess * (length + excess)
+
+
+def contact_open_critical_area(x, cut_size: float):
+    """Critical area for a missing contact/via of the given cut size.
+
+    The defect must cover the whole cut, so its centre must fall within a
+    square of side ``x - cut_size``.
+    """
+    x = np.asarray(x, dtype=float)
+    excess = np.maximum(x - cut_size, 0.0)
+    return excess * excess
+
+
+# ---------------------------------------------------------------------------
+# Size-distribution weighting
+# ---------------------------------------------------------------------------
+
+def weighted_bridge_area(distribution: DefectSizeDistribution, spacing: float,
+                         facing_length: float) -> float:
+    """E[A_c(x)] for a bridge, in um^2."""
+    if spacing >= distribution.max_size:
+        return 0.0
+    return distribution.expectation(
+        lambda x: bridge_critical_area(x, spacing, facing_length),
+        lower=spacing)
+
+
+def weighted_open_area(distribution: DefectSizeDistribution, width: float,
+                       length: float) -> float:
+    """E[A_c(x)] for a wire open, in um^2."""
+    if width >= distribution.max_size:
+        return 0.0
+    return distribution.expectation(
+        lambda x: open_critical_area(x, width, length), lower=width)
+
+
+def weighted_contact_area(distribution: DefectSizeDistribution,
+                          cut_size: float) -> float:
+    """E[A_c(x)] for a contact/via open, in um^2."""
+    if cut_size >= distribution.max_size:
+        return 0.0
+    return distribution.expectation(
+        lambda x: contact_open_critical_area(x, cut_size), lower=cut_size)
+
+
+def failure_probability(weighted_area_um2: float,
+                        density_per_cm2: float) -> float:
+    """Convert a size-weighted critical area and a defect density into a
+    probability of occurrence of the fault."""
+    return density_per_cm2 * um_to_cm2(max(weighted_area_um2, 0.0))
+
+
+# ---------------------------------------------------------------------------
+# Geometry helpers used by the fault extractor
+# ---------------------------------------------------------------------------
+
+def facing_geometry(a: Rect, b: Rect) -> tuple[float, float]:
+    """Spacing and facing length of two rectangles (see :meth:`Rect.facing`)."""
+    return a.facing(b)
+
+
+def wire_dimensions(rect: Rect) -> tuple[float, float]:
+    """Interpret a rectangle as a wire: (width, length) with width <= length."""
+    return (rect.min_dimension, rect.max_dimension)

@@ -1,0 +1,139 @@
+"""Monte-Carlo spot-defect injection (inductive fault analysis style).
+
+This is the IFA cross-check referenced in section II of the paper: random
+spot defects are sprinkled over the layout according to the defect
+statistics; defects large enough to bridge two nets or cut a wire are
+translated into faults.  The analytic critical-area extraction of
+:mod:`repro.lift.extraction` should agree with the Monte-Carlo estimate in
+the limit of many samples; a benchmark verifies this.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..extract.connectivity import ConnectivityResult
+from ..layout.geometry import Rect
+from ..layout.layout import Layout
+from .statistics import OPEN, SHORT, DefectSizeDistribution, DefectStatistics
+
+
+@dataclass
+class SpotDefect:
+    """One sampled spot defect."""
+
+    layer: str
+    kind: str
+    x: float
+    y: float
+    diameter: float
+
+    @property
+    def rect(self) -> Rect:
+        radius = self.diameter / 2.0
+        return Rect(self.x - radius, self.y - radius,
+                    self.x + radius, self.y + radius)
+
+
+@dataclass
+class SpotDefectOutcome:
+    """Electrical consequence of one spot defect."""
+
+    defect: SpotDefect
+    effect: str                       # "none", "bridge", "open"
+    nets: tuple[str, ...] = ()
+
+
+@dataclass
+class MonteCarloResult:
+    """Aggregate of a spot-defect campaign."""
+
+    outcomes: list[SpotDefectOutcome] = field(default_factory=list)
+    samples: int = 0
+
+    def count_by_effect(self) -> Counter:
+        return Counter(o.effect for o in self.outcomes)
+
+    def bridge_pairs(self) -> Counter:
+        return Counter(tuple(sorted(o.nets)) for o in self.outcomes
+                       if o.effect == "bridge")
+
+    def fault_fraction(self) -> float:
+        if not self.samples:
+            return 0.0
+        faulty = sum(1 for o in self.outcomes if o.effect != "none")
+        return faulty / self.samples
+
+
+class SpotDefectSampler:
+    """Sample spot defects over a layout and classify their effect."""
+
+    def __init__(self, layout: Layout, connectivity: ConnectivityResult,
+                 statistics: DefectStatistics | None = None,
+                 distribution: DefectSizeDistribution | None = None,
+                 seed: int = 1995):
+        self.layout = layout
+        self.connectivity = connectivity
+        self.statistics = statistics or DefectStatistics.table_1()
+        self.distribution = distribution or DefectSizeDistribution()
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _mechanism_weights(self) -> tuple[list[tuple[str, str]], np.ndarray]:
+        keys: list[tuple[str, str]] = []
+        weights: list[float] = []
+        for mechanism in self.statistics.rows():
+            # Only mechanisms on layers present in the layout matter; the
+            # contact/via open mechanisms are skipped here because a missing
+            # contact is not a spot of extra/missing material on a routing
+            # layer (the analytic extractor handles them).
+            if mechanism.layer.startswith("contact") or mechanism.layer == "via":
+                continue
+            keys.append((mechanism.layer, mechanism.kind))
+            weights.append(mechanism.relative_density)
+        weight_array = np.asarray(weights, dtype=float)
+        return keys, weight_array / weight_array.sum()
+
+    def sample(self, count: int) -> MonteCarloResult:
+        """Sample ``count`` defects and classify each one."""
+        box = self.layout.bbox()
+        result = MonteCarloResult(samples=count)
+        if box is None:
+            return result
+        keys, weights = self._mechanism_weights()
+        chosen = self.rng.choice(len(keys), size=count, p=weights)
+        xs = self.rng.uniform(box.x1, box.x2, size=count)
+        ys = self.rng.uniform(box.y1, box.y2, size=count)
+        sizes = self.distribution.sample(self.rng, count)
+        for i in range(count):
+            layer, kind = keys[chosen[i]]
+            defect = SpotDefect(layer, kind, float(xs[i]), float(ys[i]),
+                                float(sizes[i]))
+            result.outcomes.append(self._classify(defect))
+        return result
+
+    # ------------------------------------------------------------------
+    def _classify(self, defect: SpotDefect) -> SpotDefectOutcome:
+        pieces = [p for p in self.connectivity.pieces
+                  if p.layer.name == defect.layer
+                  and p.rect.touches(defect.rect)]
+        if not pieces:
+            return SpotDefectOutcome(defect, "none")
+        nets = {self.connectivity.piece_net[p.index] for p in pieces}
+        if defect.kind == SHORT:
+            if len(nets) >= 2:
+                return SpotDefectOutcome(defect, "bridge", tuple(sorted(nets)))
+            return SpotDefectOutcome(defect, "none", tuple(nets))
+        # Open: the defect must span the full width of at least one piece.
+        for piece in pieces:
+            rect = piece.rect
+            spans_x = (defect.rect.x1 <= rect.x1 and defect.rect.x2 >= rect.x2)
+            spans_y = (defect.rect.y1 <= rect.y1 and defect.rect.y2 >= rect.y2)
+            if (spans_x and rect.width <= defect.diameter) or \
+                    (spans_y and rect.height <= defect.diameter):
+                net = self.connectivity.piece_net[piece.index]
+                return SpotDefectOutcome(defect, "open", (net,))
+        return SpotDefectOutcome(defect, "none", tuple(sorted(nets)))

@@ -1,0 +1,212 @@
+"""Defect statistics: failure mechanisms, densities and size distribution.
+
+Table 1 of the paper lists the likely physical failure modes of a digital
+CMOS process together with their *relative* defect densities (normalised to
+the metal-1 short density, for which a typical absolute value of
+1 defect/cm^2 is quoted).  The defect *size* distribution follows the
+Ferris-Prabhu model: linear rise up to the peak size ``x0`` and a 1/x^3 tail
+above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DefectModelError
+
+#: Fault kinds a failure mechanism can cause.
+SHORT = "short"
+OPEN = "open"
+
+
+@dataclass(frozen=True)
+class FailureMechanism:
+    """One row of Tab. 1: a layer, a failure mode and its relative density."""
+
+    layer: str
+    kind: str              # "short" or "open"
+    relative_density: float
+    symbol: str = ""
+
+    def __post_init__(self):
+        if self.kind not in (SHORT, OPEN):
+            raise DefectModelError(f"unknown failure kind {self.kind!r}")
+        if self.relative_density < 0.0:
+            raise DefectModelError("relative density must be non-negative")
+
+
+#: Tab. 1 of the paper, verbatim (relative densities normalised to the
+#: metal-1 short density).
+TABLE_1 = (
+    FailureMechanism("ndiff", OPEN, 0.01, "ad"),
+    FailureMechanism("ndiff", SHORT, 1.00, "bd"),
+    FailureMechanism("pdiff", OPEN, 0.01, "ad"),
+    FailureMechanism("pdiff", SHORT, 1.00, "bd"),
+    FailureMechanism("poly", OPEN, 0.25, "ap"),
+    FailureMechanism("poly", SHORT, 1.25, "bp"),
+    FailureMechanism("metal1", OPEN, 0.01, "am1"),
+    FailureMechanism("metal1", SHORT, 1.00, "bm1"),
+    FailureMechanism("metal2", OPEN, 0.02, "am2"),
+    FailureMechanism("metal2", SHORT, 1.50, "bm2"),
+    FailureMechanism("contact_diff", OPEN, 0.66, "acd"),
+    FailureMechanism("contact_poly", OPEN, 0.67, "acp"),
+    FailureMechanism("via", OPEN, 0.80, "acv"),
+)
+
+#: Typical absolute metal-1 short defect density [defects/cm^2] (section IV).
+DEFAULT_REFERENCE_DENSITY = 1.0
+
+
+class DefectStatistics:
+    """Per-mechanism defect densities.
+
+    Parameters
+    ----------
+    mechanisms:
+        Iterable of :class:`FailureMechanism`; defaults to Tab. 1.
+    reference_density:
+        Absolute density [defects/cm^2] corresponding to relative density 1.0
+        (the metal-1 short density).
+    """
+
+    def __init__(self, mechanisms=None,
+                 reference_density: float = DEFAULT_REFERENCE_DENSITY):
+        self.mechanisms: dict[tuple[str, str], FailureMechanism] = {}
+        for mechanism in (mechanisms if mechanisms is not None else TABLE_1):
+            self.mechanisms[(mechanism.layer, mechanism.kind)] = mechanism
+        if reference_density <= 0.0:
+            raise DefectModelError("reference density must be positive")
+        self.reference_density = reference_density
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def table_1(cls, reference_density: float = DEFAULT_REFERENCE_DENSITY
+                ) -> "DefectStatistics":
+        """The default statistics of the paper's Tab. 1."""
+        return cls(TABLE_1, reference_density)
+
+    # ------------------------------------------------------------------
+    def mechanism(self, layer: str, kind: str) -> FailureMechanism | None:
+        return self.mechanisms.get((str(layer).lower(), kind))
+
+    def relative_density(self, layer: str, kind: str) -> float:
+        mechanism = self.mechanism(layer, kind)
+        return mechanism.relative_density if mechanism else 0.0
+
+    def density(self, layer: str, kind: str) -> float:
+        """Absolute defect density [defects/cm^2] for a layer/kind."""
+        return self.relative_density(layer, kind) * self.reference_density
+
+    def layers(self) -> list[str]:
+        return sorted({layer for layer, _ in self.mechanisms})
+
+    def rows(self) -> list[FailureMechanism]:
+        """All mechanisms, in Tab. 1 order."""
+        return list(self.mechanisms.values())
+
+    def beta_alpha_ratio(self, layer: str) -> float:
+        """Short-to-open density ratio of a layer (the paper notes it is
+        around 100 for typical lines, motivating the focus on bridges)."""
+        opens = self.relative_density(layer, OPEN)
+        shorts = self.relative_density(layer, SHORT)
+        if opens == 0.0:
+            return float("inf") if shorts > 0.0 else 0.0
+        return shorts / opens
+
+    def as_table(self) -> list[tuple[str, str, str, float]]:
+        """Rows of Tab. 1 as (layer, failure, symbol, relative density)."""
+        return [(m.layer, m.kind, m.symbol, m.relative_density)
+                for m in self.rows()]
+
+    def format_table(self) -> str:
+        """Pretty-print Tab. 1 for reports and benchmarks."""
+        lines = [f"{'Layer':<14}{'Failure':<10}{'Symbol':<8}{'Rel. density':>12}"]
+        lines.append("-" * 44)
+        for layer, kind, symbol, density in self.as_table():
+            lines.append(f"{layer:<14}{kind:<10}{symbol:<8}{density:>12.2f}")
+        lines.append("-" * 44)
+        lines.append(f"reference density: {self.reference_density:g} defects/cm^2 "
+                     "(metal-1 shorts)")
+        return "\n".join(lines)
+
+
+class DefectSizeDistribution:
+    """Ferris-Prabhu defect-size probability density.
+
+    ``f(x) = c * x / x0^2`` for ``x <= x0`` and ``c * x0^(p-1) / x^p`` above,
+    with ``p = 3`` by default, defined on ``[x_min, x_max]`` and normalised to
+    integrate to one.  Sizes are in micrometres.
+    """
+
+    def __init__(self, peak_size: float = 2.0, max_size: float = 20.0,
+                 min_size: float = 0.1, power: float = 3.0):
+        if not (0.0 < min_size < peak_size < max_size):
+            raise DefectModelError(
+                "sizes must satisfy 0 < min_size < peak_size < max_size")
+        if power <= 1.0:
+            raise DefectModelError("power-law exponent must exceed 1")
+        self.peak_size = float(peak_size)
+        self.max_size = float(max_size)
+        self.min_size = float(min_size)
+        self.power = float(power)
+        self._norm = 1.0
+        self._norm = 1.0 / self._raw_integral()
+
+    # ------------------------------------------------------------------
+    def _raw_pdf(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        x0, p = self.peak_size, self.power
+        rising = x / (x0 * x0)
+        falling = np.power(x0, p - 1.0) / np.power(np.maximum(x, 1e-30), p)
+        pdf = np.where(x <= x0, rising, falling)
+        pdf = np.where((x < self.min_size) | (x > self.max_size), 0.0, pdf)
+        return pdf
+
+    def _raw_integral(self) -> float:
+        xs = np.linspace(self.min_size, self.max_size, 4001)
+        return float(np.trapezoid(self._raw_pdf(xs), xs))
+
+    # ------------------------------------------------------------------
+    def pdf(self, x) -> np.ndarray | float:
+        """Probability density at defect diameter ``x`` [1/um]."""
+        values = self._raw_pdf(x) * self._norm
+        if np.isscalar(x):
+            return float(values)
+        return values
+
+    def cdf(self, x: float) -> float:
+        """Cumulative probability of defect diameters up to ``x``."""
+        if x <= self.min_size:
+            return 0.0
+        upper = min(x, self.max_size)
+        xs = np.linspace(self.min_size, upper, 2001)
+        return float(np.trapezoid(self.pdf(xs), xs))
+
+    def mean(self) -> float:
+        xs = np.linspace(self.min_size, self.max_size, 4001)
+        return float(np.trapezoid(xs * self.pdf(xs), xs))
+
+    def expectation(self, func, lower: float | None = None,
+                    upper: float | None = None, samples: int = 801) -> float:
+        """Numerically evaluate ``E[func(x)]`` over the size distribution.
+
+        ``func`` must be vectorised (accept a numpy array).  This is the
+        integral used to weight critical areas by defect size probability.
+        """
+        lower = self.min_size if lower is None else max(lower, self.min_size)
+        upper = self.max_size if upper is None else min(upper, self.max_size)
+        if upper <= lower:
+            return 0.0
+        xs = np.linspace(lower, upper, samples)
+        return float(np.trapezoid(np.asarray(func(xs), dtype=float) * self.pdf(xs), xs))
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Draw defect diameters by inverse-transform sampling on a grid."""
+        xs = np.linspace(self.min_size, self.max_size, 2001)
+        pdf = self.pdf(xs)
+        cdf = np.cumsum(pdf)
+        cdf /= cdf[-1]
+        uniform = rng.random(count)
+        return np.interp(uniform, cdf, xs)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class UnitError(ReproError):
+    """A numeric literal or engineering-unit suffix could not be parsed."""
+
+
+class NetlistError(ReproError):
+    """A circuit description is malformed (unknown node, duplicate element,
+    bad parameter, unparsable netlist line, ...)."""
+
+
+class ModelError(ReproError):
+    """A device references an unknown or incompatible ``.model`` card."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was requested with invalid parameters."""
+
+
+class ConvergenceError(AnalysisError):
+    """The Newton-Raphson iteration failed to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    worst_node:
+        Name of the node with the largest remaining update, if known.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, worst_node: str | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.worst_node = worst_node
+
+
+class SingularMatrixError(AnalysisError):
+    """The MNA matrix is singular (floating node, voltage-source loop, ...)."""
+
+
+class LayoutError(ReproError):
+    """A layout object is malformed (negative width, unknown layer, ...)."""
+
+
+class TechnologyError(LayoutError):
+    """A technology file is inconsistent or a rule is missing."""
+
+
+class ExtractionError(ReproError):
+    """Circuit extraction from layout failed."""
+
+
+class LVSError(ExtractionError):
+    """The extracted netlist does not match the schematic netlist."""
+
+
+class DefectModelError(ReproError):
+    """The defect statistics description is inconsistent."""
+
+
+class FaultError(ReproError):
+    """A fault descriptor is invalid or cannot be injected."""
+
+
+class FaultInjectionError(FaultError):
+    """Injection of a fault into a circuit failed (missing node/element)."""
+
+
+class CampaignError(ReproError):
+    """A fault-simulation campaign could not be run or post-processed."""

@@ -1,0 +1,34 @@
+"""Circuit extraction from layout (connectivity, devices, netlist, LVS)."""
+
+from .connectivity import (
+    ChannelRegion,
+    ConductingPiece,
+    ConnectivityExtractor,
+    ConnectivityResult,
+    ExtractedNet,
+)
+from .devices import (
+    DeviceExtractionOptions,
+    DeviceExtractor,
+    ExtractedCapacitor,
+    ExtractedMosfet,
+)
+from .netlist import ExtractionResult, NetlistExtractor, extract_netlist
+from .lvs import LVSReport, compare
+
+__all__ = [
+    "ChannelRegion",
+    "ConductingPiece",
+    "ConnectivityExtractor",
+    "ConnectivityResult",
+    "ExtractedNet",
+    "DeviceExtractionOptions",
+    "DeviceExtractor",
+    "ExtractedCapacitor",
+    "ExtractedMosfet",
+    "ExtractionResult",
+    "NetlistExtractor",
+    "extract_netlist",
+    "LVSReport",
+    "compare",
+]

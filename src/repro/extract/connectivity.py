@@ -1,0 +1,207 @@
+"""Connectivity (net) extraction from a layout.
+
+The extractor turns drawn geometry into electrical nets:
+
+1. Diffusion shapes are split at poly crossings; the region under the gate
+   (the channel) does not conduct, the remaining pieces are source/drain
+   islands.
+2. Conducting pieces on the same layer that touch are connected.
+3. Contact and via cuts connect pieces on the layer pairs they join.
+4. Connected components of the resulting graph are the nets; labels give
+   them their names.
+
+The result keeps a shape-to-net map, which is what the fault extractor needs
+to translate geometric defects into electrical faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import ExtractionError
+from ..layout.geometry import Rect, subtract_many
+from ..layout.layers import (
+    CONTACT,
+    CUT_CONNECTIVITY,
+    DIFFUSION_LAYERS,
+    METAL1,
+    METAL2,
+    NDIFF,
+    PDIFF,
+    POLY,
+    VIA,
+    Layer,
+)
+from ..layout.layout import Layout, Shape
+
+
+@dataclass
+class ConductingPiece:
+    """A rectangle of conducting material after diffusion splitting."""
+
+    index: int
+    layer: Layer
+    rect: Rect
+    source_shape: Shape
+    #: True for diffusion islands created by splitting at a gate.
+    from_diffusion_split: bool = False
+
+
+@dataclass
+class ChannelRegion:
+    """The intersection of a poly gate with a diffusion island."""
+
+    rect: Rect
+    diffusion_layer: Layer
+    poly_shape: Shape
+    diffusion_shape: Shape
+
+
+@dataclass
+class ExtractedNet:
+    """A set of electrically connected conducting pieces."""
+
+    name: str
+    pieces: list[ConductingPiece] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    @property
+    def layers(self) -> set[str]:
+        return {p.layer.name for p in self.pieces}
+
+    def pieces_on(self, layer: Layer) -> list[ConductingPiece]:
+        return [p for p in self.pieces if p.layer == layer]
+
+    def total_area(self) -> float:
+        return sum(p.rect.area for p in self.pieces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ExtractedNet({self.name!r}, {len(self.pieces)} pieces)"
+
+
+@dataclass
+class ConnectivityResult:
+    """Output of :class:`ConnectivityExtractor`."""
+
+    nets: list[ExtractedNet]
+    channels: list[ChannelRegion]
+    pieces: list[ConductingPiece]
+    piece_net: dict[int, str]
+    graph: nx.Graph
+
+    def net_by_name(self, name: str) -> ExtractedNet:
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise ExtractionError(f"no extracted net named {name!r}")
+
+    def net_of_piece(self, piece: ConductingPiece) -> str:
+        return self.piece_net[piece.index]
+
+    def net_names(self) -> list[str]:
+        return sorted(net.name for net in self.nets)
+
+
+class ConnectivityExtractor:
+    """Extract nets from a :class:`~repro.layout.layout.Layout`."""
+
+    def __init__(self, layout: Layout):
+        self.layout = layout
+
+    # ------------------------------------------------------------------
+    def run(self) -> ConnectivityResult:
+        pieces, channels = self._build_pieces()
+        graph = self._build_graph(pieces)
+        nets, piece_net = self._name_nets(pieces, graph)
+        return ConnectivityResult(nets=nets, channels=channels, pieces=pieces,
+                                  piece_net=piece_net, graph=graph)
+
+    # ------------------------------------------------------------------
+    def _build_pieces(self) -> tuple[list[ConductingPiece], list[ChannelRegion]]:
+        pieces: list[ConductingPiece] = []
+        channels: list[ChannelRegion] = []
+        poly_shapes = self.layout.shapes_on(POLY)
+        index = 0
+
+        for shape in self.layout.shapes:
+            if shape.layer in DIFFUSION_LAYERS:
+                cutters = []
+                for poly in poly_shapes:
+                    clip = shape.rect.intersection(poly.rect)
+                    if clip is not None and not clip.is_empty():
+                        cutters.append(clip)
+                        channels.append(ChannelRegion(clip, shape.layer, poly,
+                                                      shape))
+                for piece_rect in subtract_many(shape.rect, cutters):
+                    pieces.append(ConductingPiece(index, shape.layer, piece_rect,
+                                                  shape, bool(cutters)))
+                    index += 1
+            elif shape.layer in (POLY, METAL1, METAL2):
+                pieces.append(ConductingPiece(index, shape.layer, shape.rect,
+                                              shape))
+                index += 1
+        return pieces, channels
+
+    def _build_graph(self, pieces: list[ConductingPiece]) -> nx.Graph:
+        graph = nx.Graph()
+        for piece in pieces:
+            graph.add_node(piece.index)
+
+        by_layer: dict[str, list[ConductingPiece]] = {}
+        for piece in pieces:
+            by_layer.setdefault(piece.layer.name, []).append(piece)
+
+        # Same-layer abutment/overlap.
+        for layer_pieces in by_layer.values():
+            for i, a in enumerate(layer_pieces):
+                for b in layer_pieces[i + 1:]:
+                    if a.rect.touches(b.rect):
+                        graph.add_edge(a.index, b.index)
+
+        # Cut layers connect the layer pairs they join.
+        for cut_layer in (CONTACT, VIA):
+            for cut in self.layout.shapes_on(cut_layer):
+                joined = CUT_CONNECTIVITY[cut_layer]
+                touched: list[ConductingPiece] = []
+                allowed_layers = {layer.name for pair in joined for layer in pair}
+                for piece in pieces:
+                    if piece.layer.name not in allowed_layers:
+                        continue
+                    if piece.rect.touches(cut.rect):
+                        touched.append(piece)
+                for i, a in enumerate(touched):
+                    for b in touched[i + 1:]:
+                        pair = {a.layer, b.layer}
+                        if any(set(p) == pair for p in joined):
+                            graph.add_edge(a.index, b.index,
+                                           cut=cut, cut_layer=cut_layer.name)
+        return graph
+
+    def _name_nets(self, pieces: list[ConductingPiece], graph: nx.Graph
+                   ) -> tuple[list[ExtractedNet], dict[int, str]]:
+        piece_by_index = {p.index: p for p in pieces}
+        nets: list[ExtractedNet] = []
+        piece_net: dict[int, str] = {}
+        anonymous = 0
+
+        for component in nx.connected_components(graph):
+            members = [piece_by_index[i] for i in sorted(component)]
+            labels: list[str] = []
+            for label in self.layout.labels:
+                for piece in members:
+                    if (piece.layer == label.layer
+                            and piece.rect.contains_point(label.x, label.y)):
+                        labels.append(label.text)
+                        break
+            if labels:
+                name = labels[0]
+            else:
+                anonymous += 1
+                name = f"n${anonymous}"
+            net = ExtractedNet(name=name, pieces=members, labels=labels)
+            nets.append(net)
+            for piece in members:
+                piece_net[piece.index] = name
+        return nets, piece_net

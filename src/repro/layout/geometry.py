@@ -1,0 +1,248 @@
+"""Manhattan (axis-aligned rectangle) geometry engine.
+
+All layout geometry in this reproduction is rectilinear and axis-aligned,
+which matches the drawing style of the paper's era and makes the
+critical-area expressions of the defect model exact.  Coordinates are in
+micrometres.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle with ``x1 <= x2`` and ``y1 <= y2``."""
+
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def __post_init__(self):
+        if self.x2 < self.x1 or self.y2 < self.y1:
+            raise LayoutError(
+                f"degenerate rectangle ({self.x1},{self.y1})-({self.x2},{self.y2})")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> float:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (0.5 * (self.x1 + self.x2), 0.5 * (self.y1 + self.y2))
+
+    @property
+    def min_dimension(self) -> float:
+        return min(self.width, self.height)
+
+    @property
+    def max_dimension(self) -> float:
+        return max(self.width, self.height)
+
+    def is_empty(self, tolerance: float = 1e-12) -> bool:
+        return self.width <= tolerance or self.height <= tolerance
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains(self, other: "Rect") -> bool:
+        return (self.x1 <= other.x1 and other.x2 <= self.x2
+                and self.y1 <= other.y1 and other.y2 <= self.y2)
+
+    def overlaps(self, other: "Rect", strict: bool = True) -> bool:
+        """True when the interiors intersect (``strict``) or the rectangles
+        at least touch (``strict=False``)."""
+        if strict:
+            return (self.x1 < other.x2 and other.x1 < self.x2
+                    and self.y1 < other.y2 and other.y1 < self.y2)
+        return (self.x1 <= other.x2 and other.x1 <= self.x2
+                and self.y1 <= other.y2 and other.y1 <= self.y2)
+
+    def touches(self, other: "Rect") -> bool:
+        """True when the rectangles touch or overlap (share at least a point)."""
+        return self.overlaps(other, strict=False)
+
+    # ------------------------------------------------------------------
+    # Constructive operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x2 <= x1 or y2 <= y1:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(min(self.x1, other.x1), min(self.y1, other.y1),
+                    max(self.x2, other.x2), max(self.y2, other.y2))
+
+    def expanded(self, margin: float) -> "Rect":
+        """Return the rectangle grown by ``margin`` on every side (or shrunk
+        for a negative margin)."""
+        x1, y1 = self.x1 - margin, self.y1 - margin
+        x2, y2 = self.x2 + margin, self.y2 + margin
+        if x2 < x1 or y2 < y1:
+            raise LayoutError(f"shrinking by {margin} empties the rectangle")
+        return Rect(x1, y1, x2, y2)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def subtract(self, other: "Rect") -> list["Rect"]:
+        """Return ``self`` minus ``other`` as a list of disjoint rectangles."""
+        clip = self.intersection(other)
+        if clip is None:
+            return [self]
+        pieces: list[Rect] = []
+        # Left and right slabs over the full height of self.
+        if clip.x1 > self.x1:
+            pieces.append(Rect(self.x1, self.y1, clip.x1, self.y2))
+        if clip.x2 < self.x2:
+            pieces.append(Rect(clip.x2, self.y1, self.x2, self.y2))
+        # Top and bottom slabs restricted to the clip's x span.
+        if clip.y1 > self.y1:
+            pieces.append(Rect(clip.x1, self.y1, clip.x2, clip.y1))
+        if clip.y2 < self.y2:
+            pieces.append(Rect(clip.x1, clip.y2, clip.x2, self.y2))
+        return [p for p in pieces if not p.is_empty()]
+
+    # ------------------------------------------------------------------
+    # Distances and facing geometry
+    # ------------------------------------------------------------------
+    def gap_x(self, other: "Rect") -> float:
+        """Horizontal gap between the rectangles (0 if they overlap in x)."""
+        return max(0.0, max(self.x1, other.x1) - min(self.x2, other.x2))
+
+    def gap_y(self, other: "Rect") -> float:
+        return max(0.0, max(self.y1, other.y1) - min(self.y2, other.y2))
+
+    def spacing(self, other: "Rect") -> float:
+        """Euclidean spacing between the rectangle boundaries (0 if touching
+        or overlapping)."""
+        dx = self.gap_x(other)
+        dy = self.gap_y(other)
+        return math.hypot(dx, dy)
+
+    def overlap_length_x(self, other: "Rect") -> float:
+        """Length of the common x-projection (facing length for vertically
+        separated rectangles)."""
+        return max(0.0, min(self.x2, other.x2) - max(self.x1, other.x1))
+
+    def overlap_length_y(self, other: "Rect") -> float:
+        return max(0.0, min(self.y2, other.y2) - max(self.y1, other.y1))
+
+    def facing(self, other: "Rect") -> tuple[float, float]:
+        """Return ``(spacing, facing_length)`` for the dominant facing
+        direction between two non-overlapping rectangles.
+
+        The facing length is the projection overlap perpendicular to the gap
+        direction; it is 0 when the rectangles face each other only
+        diagonally.
+        """
+        dx = self.gap_x(other)
+        dy = self.gap_y(other)
+        if dx == 0.0 and dy == 0.0:
+            # Overlapping or touching: spacing 0, facing over the overlap.
+            return 0.0, max(self.overlap_length_x(other),
+                            self.overlap_length_y(other))
+        if dx > 0.0 and dy > 0.0:
+            return math.hypot(dx, dy), 0.0
+        if dx > 0.0:
+            return dx, self.overlap_length_y(other)
+        return dy, self.overlap_length_x(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Rect({self.x1:g}, {self.y1:g}, {self.x2:g}, {self.y2:g})"
+
+
+# ---------------------------------------------------------------------------
+# Collections of rectangles
+# ---------------------------------------------------------------------------
+
+def bounding_box(rects: Iterable[Rect]) -> Rect | None:
+    """Bounding box of a collection of rectangles (None when empty)."""
+    rects = list(rects)
+    if not rects:
+        return None
+    return Rect(min(r.x1 for r in rects), min(r.y1 for r in rects),
+                max(r.x2 for r in rects), max(r.y2 for r in rects))
+
+
+def merged_area(rects: Sequence[Rect]) -> float:
+    """Exact union area of a set of rectangles (coordinate-compression sweep)."""
+    rects = [r for r in rects if not r.is_empty()]
+    if not rects:
+        return 0.0
+    xs = sorted({r.x1 for r in rects} | {r.x2 for r in rects})
+    ys = sorted({r.y1 for r in rects} | {r.y2 for r in rects})
+    total = 0.0
+    for i in range(len(xs) - 1):
+        x_lo, x_hi = xs[i], xs[i + 1]
+        for j in range(len(ys) - 1):
+            y_lo, y_hi = ys[j], ys[j + 1]
+            cx = 0.5 * (x_lo + x_hi)
+            cy = 0.5 * (y_lo + y_hi)
+            if any(r.x1 <= cx <= r.x2 and r.y1 <= cy <= r.y2 for r in rects):
+                total += (x_hi - x_lo) * (y_hi - y_lo)
+    return total
+
+
+def subtract_many(rect: Rect, cutters: Sequence[Rect]) -> list[Rect]:
+    """Subtract a list of rectangles from ``rect``."""
+    pieces = [rect]
+    for cutter in cutters:
+        next_pieces: list[Rect] = []
+        for piece in pieces:
+            next_pieces.extend(piece.subtract(cutter))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return pieces
+
+
+def group_connected(rects: Sequence[Rect]) -> list[list[int]]:
+    """Group rectangle indices into touching/overlapping clusters."""
+    n = len(rects)
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rects[i].touches(rects[j]):
+                union(i, j)
+    clusters: dict[int, list[int]] = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append(i)
+    return list(clusters.values())

@@ -1,0 +1,76 @@
+"""Layer definitions for the single-poly, double-metal CMOS process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A mask layer.
+
+    Attributes
+    ----------
+    name:
+        Canonical layer name (lower case).
+    purpose:
+        ``"conductor"`` for interconnect layers, ``"cut"`` for contact/via
+        layers, ``"base"`` for wells/implants that do not carry signals.
+    gds_number:
+        Arbitrary numeric id used by the text layout format.
+    """
+
+    name: str
+    purpose: str
+    gds_number: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# --- conductor layers -------------------------------------------------------
+NWELL = Layer("nwell", "base", 1)
+NDIFF = Layer("ndiff", "conductor", 3)
+PDIFF = Layer("pdiff", "conductor", 4)
+POLY = Layer("poly", "conductor", 5)
+METAL1 = Layer("metal1", "conductor", 8)
+METAL2 = Layer("metal2", "conductor", 10)
+
+# --- cut layers --------------------------------------------------------------
+CONTACT = Layer("contact", "cut", 7)     # metal1 to diffusion or poly
+VIA = Layer("via", "cut", 9)             # metal1 to metal2
+
+#: All layers of the process in drawing order.
+ALL_LAYERS = (NWELL, NDIFF, PDIFF, POLY, CONTACT, METAL1, VIA, METAL2)
+
+#: Layers that carry circuit nets.
+CONDUCTOR_LAYERS = tuple(l for l in ALL_LAYERS if l.purpose == "conductor")
+#: Layers that connect conductor layers vertically.
+CUT_LAYERS = tuple(l for l in ALL_LAYERS if l.purpose == "cut")
+#: Diffusion layers (transistor source/drain material).
+DIFFUSION_LAYERS = (NDIFF, PDIFF)
+
+_BY_NAME = {layer.name: layer for layer in ALL_LAYERS}
+
+
+def layer_by_name(name: str) -> Layer:
+    """Look a layer up by (case-insensitive) name."""
+    key = str(name).strip().lower()
+    # Accept a few common aliases.
+    aliases = {"diff": "ndiff", "metal_1": "metal1", "metal_2": "metal2",
+               "m1": "metal1", "m2": "metal2", "polysilicon": "poly",
+               "co": "contact", "cont": "contact"}
+    key = aliases.get(key, key)
+    if key not in _BY_NAME:
+        raise TechnologyError(f"unknown layer {name!r}")
+    return _BY_NAME[key]
+
+
+#: Which conductor layers a cut layer joins, in (lower, upper) order.  A
+#: contact joins metal1 to whichever of diffusion/poly lies underneath it.
+CUT_CONNECTIVITY = {
+    CONTACT: ((NDIFF, METAL1), (PDIFF, METAL1), (POLY, METAL1)),
+    VIA: ((METAL1, METAL2),),
+}

@@ -1,0 +1,145 @@
+"""Layout database: shapes, labels and the flat :class:`Layout` container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import LayoutError
+from .geometry import Rect, bounding_box, merged_area
+from .layers import CONDUCTOR_LAYERS, CUT_LAYERS, Layer, layer_by_name
+
+
+@dataclass
+class Shape:
+    """A rectangle on a layer, optionally annotated with the net it belongs
+    to (annotation is informational -- the extractor never reads it)."""
+
+    layer: Layer
+    rect: Rect
+    net_hint: str | None = None
+    #: Free-form annotation, e.g. which device terminal the shape implements.
+    purpose: str = ""
+
+    @property
+    def area(self) -> float:
+        return self.rect.area
+
+
+@dataclass
+class Label:
+    """A text label attaching a net name to a point of a conductor layer."""
+
+    layer: Layer
+    x: float
+    y: float
+    text: str
+
+
+@dataclass
+class Layout:
+    """A flat layout cell: a bag of shapes plus net labels."""
+
+    name: str = "top"
+    shapes: list[Shape] = field(default_factory=list)
+    labels: list[Label] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_rect(self, layer: Layer | str, x1: float, y1: float,
+                 x2: float, y2: float, net_hint: str | None = None,
+                 purpose: str = "") -> Shape:
+        """Add a rectangle; coordinates may be given in any order."""
+        if isinstance(layer, str):
+            layer = layer_by_name(layer)
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        if rect.is_empty():
+            raise LayoutError(f"zero-area shape on {layer.name}")
+        shape = Shape(layer, rect, net_hint, purpose)
+        self.shapes.append(shape)
+        return shape
+
+    def add_shape(self, shape: Shape) -> Shape:
+        self.shapes.append(shape)
+        return shape
+
+    def add_label(self, layer: Layer | str, x: float, y: float, text: str) -> Label:
+        if isinstance(layer, str):
+            layer = layer_by_name(layer)
+        label = Label(layer, x, y, str(text))
+        self.labels.append(label)
+        return label
+
+    def merge(self, other: "Layout", dx: float = 0.0, dy: float = 0.0) -> None:
+        """Merge another layout into this one with an optional translation."""
+        for shape in other.shapes:
+            self.shapes.append(Shape(shape.layer, shape.rect.translated(dx, dy),
+                                     shape.net_hint, shape.purpose))
+        for label in other.labels:
+            self.labels.append(Label(label.layer, label.x + dx, label.y + dy,
+                                     label.text))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self) -> Iterator[Shape]:
+        return iter(self.shapes)
+
+    def shapes_on(self, layer: Layer | str) -> list[Shape]:
+        if isinstance(layer, str):
+            layer = layer_by_name(layer)
+        return [s for s in self.shapes if s.layer == layer]
+
+    def rects_on(self, layer: Layer | str) -> list[Rect]:
+        return [s.rect for s in self.shapes_on(layer)]
+
+    def layers_used(self) -> list[Layer]:
+        seen: dict[str, Layer] = {}
+        for shape in self.shapes:
+            seen.setdefault(shape.layer.name, shape.layer)
+        return [seen[name] for name in sorted(seen)]
+
+    def bbox(self) -> Rect | None:
+        return bounding_box(s.rect for s in self.shapes)
+
+    def area(self) -> float:
+        """Bounding-box area of the layout [um^2]."""
+        box = self.bbox()
+        return box.area if box else 0.0
+
+    def layer_area(self, layer: Layer | str) -> float:
+        """Exact drawn (union) area of a layer [um^2]."""
+        return merged_area(self.rects_on(layer))
+
+    def labels_on(self, layer: Layer | str) -> list[Label]:
+        if isinstance(layer, str):
+            layer = layer_by_name(layer)
+        return [l for l in self.labels if l.layer == layer]
+
+    def shapes_touching(self, layer: Layer | str, rect: Rect) -> list[Shape]:
+        return [s for s in self.shapes_on(layer) if s.rect.touches(rect)]
+
+    # ------------------------------------------------------------------
+    # Statistics used by reports and tests
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, float]:
+        stats: dict[str, float] = {
+            "shape_count": float(len(self.shapes)),
+            "label_count": float(len(self.labels)),
+            "bbox_area_um2": self.area(),
+        }
+        for layer in self.layers_used():
+            shapes = self.shapes_on(layer)
+            stats[f"{layer.name}_shapes"] = float(len(shapes))
+            stats[f"{layer.name}_area_um2"] = self.layer_area(layer)
+        return stats
+
+    def conductor_shapes(self) -> list[Shape]:
+        return [s for s in self.shapes if s.layer in CONDUCTOR_LAYERS]
+
+    def cut_shapes(self) -> list[Shape]:
+        return [s for s in self.shapes if s.layer in CUT_LAYERS]

@@ -1,0 +1,88 @@
+"""A simple textual layout interchange format.
+
+The original LIFT consumed a mask layout database; as a stand-in this module
+defines a line-oriented text format that can round-trip a :class:`Layout`:
+
+```
+# comment
+CELL vco_top
+RECT metal1 0.0 0.0 10.0 3.0 net=5 purpose=trunk
+LABEL metal1 5.0 1.5 5
+END
+```
+"""
+
+from __future__ import annotations
+
+from ..errors import LayoutError
+from .layers import layer_by_name
+from .layout import Label, Layout, Shape
+from .geometry import Rect
+
+
+def dumps(layout: Layout) -> str:
+    """Serialise a layout to the text format."""
+    lines = [f"CELL {layout.name}"]
+    for shape in layout.shapes:
+        line = (f"RECT {shape.layer.name} {shape.rect.x1:g} {shape.rect.y1:g} "
+                f"{shape.rect.x2:g} {shape.rect.y2:g}")
+        if shape.net_hint:
+            line += f" net={shape.net_hint}"
+        if shape.purpose:
+            line += f" purpose={shape.purpose}"
+        lines.append(line)
+    for label in layout.labels:
+        lines.append(f"LABEL {label.layer.name} {label.x:g} {label.y:g} {label.text}")
+    lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Layout:
+    """Parse the text format back into a :class:`Layout`."""
+    layout = Layout()
+    seen_cell = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        try:
+            if keyword == "CELL":
+                layout.name = tokens[1] if len(tokens) > 1 else "top"
+                seen_cell = True
+            elif keyword == "RECT":
+                layer = layer_by_name(tokens[1])
+                coords = [float(v) for v in tokens[2:6]]
+                net_hint = None
+                purpose = ""
+                for extra in tokens[6:]:
+                    if extra.startswith("net="):
+                        net_hint = extra[4:]
+                    elif extra.startswith("purpose="):
+                        purpose = extra[8:]
+                layout.add_shape(Shape(layer, Rect(*coords), net_hint, purpose))
+            elif keyword == "LABEL":
+                layer = layer_by_name(tokens[1])
+                layout.add_label(layer, float(tokens[2]), float(tokens[3]),
+                                 " ".join(tokens[4:]))
+            elif keyword == "END":
+                break
+            else:
+                raise LayoutError(f"unknown keyword {keyword!r}")
+        except (IndexError, ValueError, TypeError) as exc:
+            raise LayoutError(
+                f"malformed layout line {line_number}: {raw!r} ({exc})") from exc
+    if not seen_cell:
+        raise LayoutError("layout text contains no CELL statement")
+    return layout
+
+
+def write_file(layout: Layout, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(layout))
+
+
+def read_file(path) -> Layout:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

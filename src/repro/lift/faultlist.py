@@ -1,0 +1,220 @@
+"""Weighted fault lists and the LIFT -> AnaFAULT interface file format."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import FaultError
+from .faults import (
+    BridgingFault,
+    Fault,
+    OpenFault,
+    ParametricFault,
+    SplitNodeFault,
+    StuckOpenFault,
+)
+
+
+@dataclass
+class FaultList:
+    """An ordered collection of weighted faults."""
+
+    name: str = "fault list"
+    faults: list[Fault] = field(default_factory=list)
+    #: Free-form metadata (source layout, statistics used, thresholds ...).
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self.faults)
+
+    def __getitem__(self, index: int) -> Fault:
+        return self.faults[index]
+
+    def add(self, fault: Fault) -> None:
+        self.faults.append(fault)
+
+    def extend(self, faults: Iterable[Fault]) -> None:
+        self.faults.extend(faults)
+
+    def by_id(self, fault_id: int) -> Fault:
+        for fault in self.faults:
+            if fault.fault_id == fault_id:
+                return fault
+        raise FaultError(f"no fault with id {fault_id}")
+
+    def by_kind(self, kind: str) -> list[Fault]:
+        return [f for f in self.faults if f.kind == kind]
+
+    # ------------------------------------------------------------------
+    # Ranking and reduction
+    # ------------------------------------------------------------------
+    def sorted_by_probability(self) -> "FaultList":
+        ranked = sorted(self.faults, key=lambda f: f.probability, reverse=True)
+        return FaultList(self.name, ranked, dict(self.metadata))
+
+    def top(self, count: int) -> "FaultList":
+        return FaultList(f"{self.name} (top {count})",
+                         self.sorted_by_probability().faults[:count],
+                         dict(self.metadata))
+
+    def filter_probability(self, minimum: float) -> "FaultList":
+        kept = [f for f in self.faults if f.probability >= minimum]
+        return FaultList(self.name, kept, dict(self.metadata))
+
+    def merge_equivalent(self) -> "FaultList":
+        """Merge faults with identical electrical signatures, summing their
+        probabilities (keeps the lowest fault id and all origins).
+
+        The input faults are left untouched; merged entries are copies.
+        """
+        import copy as _copy
+
+        merged: dict[tuple, Fault] = {}
+        for fault in self.faults:
+            key = fault.signature()
+            if key in merged:
+                existing = merged[key]
+                existing.probability += fault.probability
+                existing.origins.extend(fault.origins)
+                existing.fault_id = min(existing.fault_id, fault.fault_id)
+            else:
+                merged[key] = _copy.deepcopy(fault)
+        return FaultList(self.name, list(merged.values()), dict(self.metadata))
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_probability(self) -> float:
+        return sum(f.probability for f in self.faults)
+
+    def count_by_kind(self) -> Counter:
+        return Counter(f.kind for f in self.faults)
+
+    def count_by_category(self) -> Counter:
+        return Counter(f.category for f in self.faults)
+
+    def summary(self) -> str:
+        counts = self.count_by_kind()
+        parts = [f"{self.name}: {len(self)} faults"]
+        for kind in ("bridge", "open", "split", "stuck_open", "parametric"):
+            if counts.get(kind):
+                parts.append(f"{counts[kind]} {kind}")
+        parts.append(f"total p={self.total_probability():.3g}")
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Serialisation (the LIFT -> AnaFAULT interface file)
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        lines = [f"* LIFT realistic fault list: {self.name}"]
+        for key, value in sorted(self.metadata.items()):
+            lines.append(f"* meta {key}={value}")
+        for fault in self.faults:
+            lines.append(_fault_to_record(fault))
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str, name: str = "fault list") -> "FaultList":
+        fault_list = cls(name)
+        for line_number, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("*"):
+                continue
+            try:
+                fault_list.add(_fault_from_record(line))
+            except Exception as exc:
+                raise FaultError(
+                    f"bad fault record on line {line_number}: {raw!r} ({exc})"
+                    ) from exc
+        return fault_list
+
+    @classmethod
+    def load(cls, path) -> "FaultList":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read(), name=str(path))
+
+
+# ---------------------------------------------------------------------------
+# Record encoding
+# ---------------------------------------------------------------------------
+
+def _fault_to_record(fault: Fault) -> str:
+    fields = [f"FAULT {fault.fault_id} {fault.kind.upper()}",
+              f"p={fault.probability:.6g}"]
+    if fault.origin_layer:
+        fields.append(f"layer={fault.origin_layer}")
+    if isinstance(fault, BridgingFault):
+        fields.append(f"nets={fault.net_a},{fault.net_b}")
+        fields.append(f"scope={fault.scope}")
+    elif isinstance(fault, OpenFault):
+        fields.append(f"device={fault.device}")
+        fields.append(f"terminal={fault.terminal}")
+    elif isinstance(fault, SplitNodeFault):
+        fields.append(f"net={fault.net}")
+        group = ";".join(f"{d}.{t}" for d, t in fault.group_b)
+        fields.append(f"group={group}")
+    elif isinstance(fault, StuckOpenFault):
+        fields.append(f"device={fault.device}")
+        fields.append(f"terminal={fault.terminal}")
+    elif isinstance(fault, ParametricFault):
+        fields.append(f"device={fault.device}")
+        fields.append(f"parameter={fault.parameter}")
+        fields.append(f"change={fault.relative_change:g}")
+    if fault.description:
+        fields.append(f'desc="{fault.description}"')
+    return " ".join(fields)
+
+
+def _parse_fields(tokens: list[str]) -> dict[str, str]:
+    fields: dict[str, str] = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, value = token.partition("=")
+            fields[key] = value.strip('"')
+    return fields
+
+
+def _fault_from_record(line: str) -> Fault:
+    tokens = line.split()
+    if len(tokens) < 3 or tokens[0].upper() != "FAULT":
+        raise FaultError(f"not a FAULT record: {line!r}")
+    fault_id = int(tokens[1])
+    kind = tokens[2].lower()
+    fields = _parse_fields(tokens[3:])
+    probability = float(fields.get("p", 0.0))
+    layer = fields.get("layer", "")
+    description = fields.get("desc", "")
+
+    if kind == "bridge":
+        net_a, net_b = fields["nets"].split(",")
+        return BridgingFault(fault_id, probability, layer, description,
+                             net_a=net_a, net_b=net_b,
+                             scope=fields.get("scope", "global"))
+    if kind == "open":
+        return OpenFault(fault_id, probability, layer, description,
+                         device=fields["device"], terminal=fields["terminal"])
+    if kind == "split":
+        group = tuple(tuple(item.split(".", 1)) for item in
+                      fields["group"].split(";") if item)
+        return SplitNodeFault(fault_id, probability, layer, description,
+                              net=fields["net"], group_b=group)
+    if kind == "stuck_open":
+        return StuckOpenFault(fault_id, probability, layer, description,
+                              device=fields["device"],
+                              terminal=fields.get("terminal", "drain"))
+    if kind == "parametric":
+        return ParametricFault(fault_id, probability, layer, description,
+                               device=fields["device"],
+                               parameter=fields["parameter"],
+                               relative_change=float(fields.get("change", 0.0)))
+    raise FaultError(f"unknown fault kind {kind!r}")

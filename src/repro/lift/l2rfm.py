@@ -1,0 +1,146 @@
+"""Local Layout Realistic Fault Mapping (L2RFM).
+
+L2RFM [18] is the *pre-layout* reduction step of Fig. 1: before the full
+layout exists, per-element layout templates (how a single MOSFET or
+capacitor will be drawn in the target technology) are used to weight the
+single-element faults of the schematic list.  Faults whose template-level
+critical area is negligible are dropped; the rest carry an estimated
+probability.
+
+The template model used here mirrors the generator of
+:mod:`repro.layout.builder`: a straight-gate transistor with contacted
+source/drain pads, so that
+
+* gate-source and gate-drain shorts arise from poly-to-contact-pad spacing
+  along the gate width,
+* drain-source shorts must bridge the channel length,
+* terminal opens arise from single-contact failures and thin poly.
+"""
+
+from __future__ import annotations
+
+from ..defects import (
+    DefectSizeDistribution,
+    DefectStatistics,
+    failure_probability,
+    weighted_bridge_area,
+    weighted_contact_area,
+    weighted_open_area,
+)
+from ..layout.technology import Technology, default_technology
+from ..spice import Capacitor, Circuit, Mosfet
+from .faultlist import FaultList
+from .faults import BridgingFault, OpenFault
+from .schematic_faults import schematic_fault_list
+
+
+class L2RFMReducer:
+    """Weight and reduce a schematic fault list with per-element templates."""
+
+    def __init__(self, circuit: Circuit,
+                 statistics: DefectStatistics | None = None,
+                 distribution: DefectSizeDistribution | None = None,
+                 technology: Technology | None = None,
+                 min_probability: float = 1e-10):
+        self.circuit = circuit
+        self.statistics = statistics or DefectStatistics.table_1()
+        self.distribution = distribution or DefectSizeDistribution()
+        self.technology = technology or default_technology()
+        self.min_probability = min_probability
+
+    # ------------------------------------------------------------------
+    def run(self) -> FaultList:
+        schematic = schematic_fault_list(self.circuit)
+        reduced = FaultList("L2RFM (pre-layout realistic faults)")
+        reduced.metadata["source"] = "l2rfm"
+        for fault in schematic:
+            probability = self._estimate(fault)
+            if probability < self.min_probability:
+                continue
+            fault.probability = probability
+            reduced.add(fault)
+        return reduced.sorted_by_probability()
+
+    # ------------------------------------------------------------------
+    def _estimate(self, fault) -> float:
+        if isinstance(fault, BridgingFault):
+            return self._estimate_short(fault)
+        if isinstance(fault, OpenFault):
+            return self._estimate_open(fault)
+        return 0.0
+
+    def _device_of(self, fault) -> object | None:
+        if isinstance(fault, OpenFault):
+            return self.circuit.device(fault.device)
+        # Bridging faults from the schematic list are local to one element:
+        # find a device whose terminals include both nets.
+        for device in self.circuit.devices:
+            if isinstance(device, (Mosfet, Capacitor)):
+                if fault.net_a in device.nodes and fault.net_b in device.nodes:
+                    return device
+        return None
+
+    def _estimate_short(self, fault: BridgingFault) -> float:
+        device = self._device_of(fault)
+        tech = self.technology
+        dist = self.distribution
+        if isinstance(device, Mosfet):
+            w_um = device.w * 1e6
+            l_um = device.l * 1e6
+            drain, gate, source, _ = device.nodes
+            pair = {fault.net_a, fault.net_b}
+            if pair == {gate, source} or pair == {gate, drain}:
+                # Poly to source/drain pad: separated by the contact-to-gate
+                # spacing, facing over the gate width.
+                spacing = tech.min_spacing("poly")
+                area = weighted_bridge_area(dist, spacing, w_um)
+                density = self.statistics.density("poly", "short")
+            elif pair == {drain, source}:
+                # Across the channel: diffusion-level bridge over length L.
+                area = weighted_bridge_area(dist, l_um, w_um)
+                density = self.statistics.density("ndiff", "short")
+            else:
+                return 0.0
+            return failure_probability(area, density)
+        if isinstance(device, Capacitor):
+            # Plate-to-plate short through the dielectric: use the poly short
+            # density over the plate perimeter as a coarse template.
+            area = weighted_bridge_area(dist, tech.min_spacing("poly"), 20.0)
+            return failure_probability(area, self.statistics.density("poly", "short"))
+        return 0.0
+
+    def _estimate_open(self, fault: OpenFault) -> float:
+        device = self._device_of(fault)
+        tech = self.technology
+        dist = self.distribution
+        if isinstance(device, Mosfet):
+            w_um = device.w * 1e6
+            if fault.terminal == "gate":
+                # Thin poly connection from the gate pad to the channel.
+                area = weighted_open_area(dist, tech.min_width("poly"),
+                                          w_um + 2 * tech.poly_endcap)
+                density = self.statistics.density("poly", "open")
+                probability = failure_probability(area, density)
+                # Plus a missing gate contact.
+                probability += failure_probability(
+                    weighted_contact_area(dist, tech.cut_size),
+                    self.statistics.density("contact_poly", "open"))
+                return probability
+            # Source/drain: single missing contact dominates for narrow
+            # devices; wide devices have redundant contacts.
+            contacts = max(1, int(w_um // (2 * tech.cut_size + 2)))
+            if contacts > 1:
+                return 0.0
+            return failure_probability(
+                weighted_contact_area(dist, tech.cut_size),
+                self.statistics.density("contact_diff", "open"))
+        if isinstance(device, Capacitor):
+            return failure_probability(
+                weighted_contact_area(dist, tech.cut_size),
+                self.statistics.density("contact_poly", "open"))
+        return 0.0
+
+
+def l2rfm_fault_list(circuit: Circuit, **kwargs) -> FaultList:
+    """Convenience wrapper around :class:`L2RFMReducer`."""
+    return L2RFMReducer(circuit, **kwargs).run()

@@ -1,0 +1,82 @@
+"""Ranking and weighting utilities for fault lists.
+
+The probability of occurrence attached to each fault allows the test
+engineer to rank faults ("the most likely realistic faults") and to compute
+*weighted* fault coverage, where detecting a likely fault contributes more
+than detecting an exotic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .faultlist import FaultList
+from .faults import Fault
+
+
+@dataclass
+class RankedFault:
+    """One row of a ranking report."""
+
+    rank: int
+    fault: Fault
+    probability: float
+    cumulative_fraction: float
+
+
+def rank_faults(faults: FaultList) -> list[RankedFault]:
+    """Rank faults by probability and annotate the cumulative fraction of the
+    total fault probability they cover."""
+    ordered = faults.sorted_by_probability()
+    total = ordered.total_probability()
+    running = 0.0
+    ranking: list[RankedFault] = []
+    for index, fault in enumerate(ordered, start=1):
+        running += fault.probability
+        fraction = running / total if total > 0.0 else 0.0
+        ranking.append(RankedFault(index, fault, fault.probability, fraction))
+    return ranking
+
+
+def faults_covering_fraction(faults: FaultList, fraction: float) -> FaultList:
+    """Smallest prefix of the ranked list covering ``fraction`` of the total
+    occurrence probability."""
+    ranking = rank_faults(faults)
+    kept = [r.fault for r in ranking if r.cumulative_fraction <= fraction]
+    if len(kept) < len(ranking) and (not kept or
+                                     ranking[len(kept)].cumulative_fraction > fraction):
+        # Include the fault that crosses the requested fraction.
+        kept.append(ranking[len(kept)].fault)
+    return FaultList(f"{faults.name} ({fraction:.0%} weight)", kept,
+                     dict(faults.metadata))
+
+
+def weighted_fault_coverage(faults: FaultList, detected_ids) -> float:
+    """Probability-weighted fault coverage of a set of detected fault ids."""
+    detected_ids = set(detected_ids)
+    total = faults.total_probability()
+    if total <= 0.0:
+        if not len(faults):
+            return 0.0
+        return len([f for f in faults if f.fault_id in detected_ids]) / len(faults)
+    covered = sum(f.probability for f in faults if f.fault_id in detected_ids)
+    return covered / total
+
+
+def unweighted_fault_coverage(faults: FaultList, detected_ids) -> float:
+    """Plain fault coverage: detected / total."""
+    if not len(faults):
+        return 0.0
+    detected_ids = set(detected_ids)
+    return len([f for f in faults if f.fault_id in detected_ids]) / len(faults)
+
+
+def format_ranking(faults: FaultList, limit: int = 20) -> str:
+    """Human-readable ranking table."""
+    lines = [f"{'rank':>4} {'id':>6} {'kind':<12} {'p':>12} {'cum.':>7}  description"]
+    lines.append("-" * 78)
+    for row in rank_faults(faults)[:limit]:
+        lines.append(f"{row.rank:>4} {row.fault.fault_id:>6} "
+                     f"{row.fault.kind:<12} {row.probability:>12.3g} "
+                     f"{row.cumulative_fraction:>6.1%}  {row.fault.description}")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""The complete ("all faults") single hard fault list derived from a schematic.
+
+This is the starting point of the flow in Fig. 1: every possible single open
+and single short on every element, irrespective of whether a physical defect
+could plausibly cause it.  For the paper's 26-transistor VCO this yields 79
+opens (3 per transistor + 1 on the capacitor) and 73 shorts (3 per
+transistor minus the 6 designed gate-drain connections, + 1 on the
+capacitor), i.e. 152 faults.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..spice import Capacitor, Circuit, Inductor, Mosfet, Resistor
+from .faultlist import FaultList
+from .faults import BridgingFault, OpenFault
+
+#: Short pairs considered on a MOSFET, as (terminal, terminal).
+MOSFET_SHORT_PAIRS = (("gate", "source"), ("gate", "drain"), ("drain", "source"))
+#: Terminals with open faults on a MOSFET.
+MOSFET_OPEN_TERMINALS = ("drain", "gate", "source")
+
+
+def _terminal_net(device, terminal: str) -> str:
+    order = {"drain": 0, "gate": 1, "source": 2, "bulk": 3, "pos": 0, "neg": 1}
+    return device.nodes[order[terminal]]
+
+
+def schematic_fault_list(circuit: Circuit,
+                         diode_connected: Iterable[str] | None = None,
+                         name: str = "schematic (all faults)") -> FaultList:
+    """Enumerate the complete set of single hard faults of a schematic.
+
+    Parameters
+    ----------
+    circuit:
+        The schematic.  Only passive elements and MOSFETs receive faults
+        (independent sources represent the environment).
+    diode_connected:
+        Device names whose gate and drain are already connected by design;
+        their gate-drain short is not a fault.
+    """
+    diode_connected = {n.lower() for n in (diode_connected or [])}
+    if not diode_connected and "diode_connected" in circuit.metadata:
+        diode_connected = {str(n).lower()
+                           for n in circuit.metadata["diode_connected"]}
+    environment = {str(n).lower()
+                   for n in circuit.metadata.get("environment_devices", [])}
+
+    faults = FaultList(name)
+    next_id = 1
+
+    for device in circuit.devices:
+        if device.name.lower() in environment:
+            # Source/test-bench impedances model the environment, not the IC.
+            continue
+        if isinstance(device, Mosfet):
+            for terminal in MOSFET_OPEN_TERMINALS:
+                faults.add(OpenFault(next_id, probability=0.0,
+                                     description=f"open at {device.name}.{terminal}",
+                                     device=device.name, terminal=terminal))
+                next_id += 1
+            for term_a, term_b in MOSFET_SHORT_PAIRS:
+                if (device.name.lower() in diode_connected
+                        and {term_a, term_b} == {"gate", "drain"}):
+                    continue
+                net_a = _terminal_net(device, term_a)
+                net_b = _terminal_net(device, term_b)
+                if net_a == net_b:
+                    # Already connected by design (e.g. diode-connected
+                    # devices whose nets coincide): not a fault.
+                    continue
+                faults.add(BridgingFault(
+                    next_id, probability=0.0,
+                    description=f"{term_a}-{term_b} short of {device.name}",
+                    net_a=net_a, net_b=net_b, scope="local"))
+                next_id += 1
+        elif isinstance(device, (Resistor, Capacitor, Inductor)):
+            faults.add(OpenFault(next_id, probability=0.0,
+                                 description=f"open at {device.name}",
+                                 device=device.name, terminal="pos"))
+            next_id += 1
+            net_a, net_b = device.nodes
+            if net_a != net_b:
+                faults.add(BridgingFault(
+                    next_id, probability=0.0,
+                    description=f"short across {device.name}",
+                    net_a=net_a, net_b=net_b, scope="local"))
+                next_id += 1
+
+    faults.metadata["source"] = "schematic"
+    faults.metadata["circuit"] = circuit.title
+    return faults
+
+
+def count_schematic_faults(circuit: Circuit,
+                           diode_connected: Iterable[str] | None = None
+                           ) -> dict[str, int]:
+    """Return the open/short counts of the complete schematic fault list."""
+    faults = schematic_fault_list(circuit, diode_connected)
+    opens = len(faults.by_kind("open"))
+    shorts = len(faults.by_kind("bridge"))
+    return {"opens": opens, "shorts": shorts, "total": opens + shorts}

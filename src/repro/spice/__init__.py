@@ -1,0 +1,70 @@
+"""A small SPICE-class analogue circuit simulator.
+
+This subpackage is the kernel-simulator substrate required by AnaFAULT.  It
+provides:
+
+* a circuit data model (:mod:`repro.spice.netlist`) with SPICE-compatible
+  device classes (:mod:`repro.spice.devices`),
+* a netlist parser and writer for a SPICE dialect
+  (:mod:`repro.spice.parser`, :mod:`repro.spice.writer`),
+* DC operating point, DC sweep, AC and transient analyses built on modified
+  nodal analysis with Newton-Raphson iteration
+  (:mod:`repro.spice.analysis`), and
+* a :class:`~repro.spice.waveform.Waveform` container used to exchange
+  simulation results with the fault comparator.
+"""
+
+from .netlist import Circuit, Model
+from .devices import (
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    Resistor,
+    VoltageControlledCurrentSource,
+    VoltageControlledSwitch,
+    VoltageControlledVoltageSource,
+    CurrentControlledCurrentSource,
+    CurrentControlledVoltageSource,
+    VoltageSource,
+)
+from .analysis import (
+    ACAnalysis,
+    DCSweepAnalysis,
+    OperatingPointAnalysis,
+    TransientAnalysis,
+    TransientResult,
+    OperatingPoint,
+    SimulationOptions,
+)
+from .parser import parse_netlist
+from .writer import write_netlist
+from .waveform import Waveform
+
+__all__ = [
+    "Circuit",
+    "Model",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "Diode",
+    "Mosfet",
+    "VoltageSource",
+    "CurrentSource",
+    "VoltageControlledVoltageSource",
+    "VoltageControlledCurrentSource",
+    "CurrentControlledCurrentSource",
+    "CurrentControlledVoltageSource",
+    "VoltageControlledSwitch",
+    "OperatingPointAnalysis",
+    "DCSweepAnalysis",
+    "ACAnalysis",
+    "TransientAnalysis",
+    "TransientResult",
+    "OperatingPoint",
+    "SimulationOptions",
+    "parse_netlist",
+    "write_netlist",
+    "Waveform",
+]

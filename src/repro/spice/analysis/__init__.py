@@ -1,0 +1,30 @@
+"""Analyses of the SPICE substrate."""
+
+from .ac import ACAnalysis, ACResult
+from .dc import (
+    DCSweepAnalysis,
+    DCSweepResult,
+    OperatingPoint,
+    OperatingPointAnalysis,
+    solve_operating_point,
+)
+from .mna import MNABuilder, MNASystem, SimState, SimulationOptions
+from .newton import solve_newton
+from .transient import TransientAnalysis, TransientResult
+
+__all__ = [
+    "ACAnalysis",
+    "ACResult",
+    "DCSweepAnalysis",
+    "DCSweepResult",
+    "OperatingPoint",
+    "OperatingPointAnalysis",
+    "solve_operating_point",
+    "MNABuilder",
+    "MNASystem",
+    "SimState",
+    "SimulationOptions",
+    "solve_newton",
+    "TransientAnalysis",
+    "TransientResult",
+]

@@ -1,0 +1,171 @@
+"""Modified nodal analysis plumbing: equation system, state and builder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import SingularMatrixError
+from ...units import DEFAULT_TEMPERATURE_C
+from ..netlist import Circuit
+
+
+@dataclass
+class SimulationOptions:
+    """Tuning knobs shared by all analyses (SPICE ``.options`` equivalent)."""
+
+    #: Relative convergence tolerance on solution variables.
+    reltol: float = 1e-3
+    #: Absolute voltage tolerance [V].
+    vntol: float = 1e-6
+    #: Absolute current tolerance [A] (branch unknowns).
+    abstol: float = 1e-9
+    #: Minimum conductance stamped on every node diagonal [S].
+    gmin: float = 1e-12
+    #: Maximum Newton iterations for the operating point.
+    itl1: int = 200
+    #: Maximum Newton iterations per transient timestep.
+    itl4: int = 60
+    #: Simulation temperature [degrees Celsius].
+    temperature: float = DEFAULT_TEMPERATURE_C
+    #: Transient integration method: "trap" or "be" (backward Euler).
+    integration: str = "trap"
+    #: Largest node-voltage change applied per Newton iteration [V].
+    max_voltage_step: float = 10.0
+    #: Number of decades for gmin stepping when the plain OP fails.
+    gmin_steps: int = 10
+    #: Number of source-stepping increments when gmin stepping also fails.
+    source_steps: int = 10
+    #: Smallest internal transient step as a fraction of the print step.
+    min_step_fraction: float = 1.0 / 256.0
+
+
+class SimState:
+    """Mutable per-analysis state shared with the device stamps."""
+
+    def __init__(self, size: int, options: SimulationOptions, mode: str = "op"):
+        self.mode = mode
+        self.options = options
+        self.x = np.zeros(size)
+        self.time = 0.0
+        self.dt = 0.0
+        #: Companion-model coefficients published by the transient driver.
+        self.integ_c0 = 0.0
+        self.integ_c1 = 0.0
+        self.gmin = options.gmin
+        self.temperature = options.temperature
+        #: Scale factor applied to independent sources (source stepping).
+        self.source_factor = 1.0
+        #: Per-source value overrides (used by DC sweeps), keyed by name.
+        self.source_overrides: dict[str, float] = {}
+        #: Angular frequency for AC analysis [rad/s].
+        self.omega = 0.0
+        #: Whether device/user initial conditions should be honoured.
+        self.use_ic = False
+        #: Set by nonlinear devices when voltage-step limiting was active in
+        #: the last stamp; Newton refuses to declare convergence while set.
+        self.limited = False
+
+    def v(self, index: int) -> float:
+        """Voltage of the matrix row ``index`` (ground rows return 0)."""
+        if index < 0:
+            return 0.0
+        return float(self.x[index].real) if np.iscomplexobj(self.x) else float(self.x[index])
+
+
+class MNASystem:
+    """Dense MNA matrix and right-hand side with ground-aware stamping."""
+
+    def __init__(self, size: int, dtype=float):
+        self.size = size
+        self.matrix = np.zeros((size, size), dtype=dtype)
+        self.rhs = np.zeros(size, dtype=dtype)
+
+    def clear(self) -> None:
+        self.matrix[:, :] = 0.0
+        self.rhs[:] = 0.0
+
+    def add(self, row: int, col: int, value) -> None:
+        """Add ``value`` at (row, col); indices of -1 refer to ground and are
+        silently dropped."""
+        if row < 0 or col < 0:
+            return
+        self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value) -> None:
+        if row < 0:
+            return
+        self.rhs[row] += value
+
+    def solve(self) -> np.ndarray:
+        """Solve the linear system, raising :class:`SingularMatrixError` on a
+        singular or numerically unusable matrix."""
+        try:
+            solution = np.linalg.solve(self.matrix, self.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SingularMatrixError("MNA solution contains NaN/Inf")
+        return solution
+
+
+class MNABuilder:
+    """Binds a circuit to matrix indices and assembles MNA systems."""
+
+    def __init__(self, circuit: Circuit, options: SimulationOptions | None = None):
+        self.circuit = circuit
+        self.options = options or SimulationOptions()
+        self.devices = circuit.devices
+        for device in self.devices:
+            device.prepare(circuit)
+        self.node_names = circuit.nodes()
+        self.node_index = {name: i for i, name in enumerate(self.node_names)}
+        next_index = len(self.node_names)
+        for device in self.devices:
+            device.bind(self.node_index)
+            next_index += device.assign_branches(next_index)
+        self.num_nodes = len(self.node_names)
+        self.size = next_index
+
+    # ------------------------------------------------------------------
+    def new_state(self, mode: str) -> SimState:
+        return SimState(self.size, self.options, mode)
+
+    def build(self, state: SimState) -> MNASystem:
+        """Assemble the (real) MNA system for the present state."""
+        system = MNASystem(self.size)
+        state.limited = False
+        for device in self.devices:
+            device.stamp(system, state)
+        self._stamp_gmin(system, state)
+        return system
+
+    def build_ac(self, state: SimState) -> MNASystem:
+        """Assemble the complex small-signal system at ``state.omega``."""
+        system = MNASystem(self.size, dtype=complex)
+        for device in self.devices:
+            device.stamp_ac(system, state)
+        self._stamp_gmin(system, state)
+        return system
+
+    def _stamp_gmin(self, system: MNASystem, state: SimState) -> None:
+        for row in range(self.num_nodes):
+            system.matrix[row, row] += state.gmin
+
+    # ------------------------------------------------------------------
+    def voltage(self, solution: np.ndarray, node: str) -> float | complex:
+        """Voltage of a node name in a solution vector."""
+        from ..netlist import normalize_node, GROUND
+
+        node = normalize_node(node)
+        if node == GROUND:
+            return 0.0
+        index = self.node_index[node]
+        value = solution[index]
+        return complex(value) if np.iscomplexobj(solution) else float(value)
+
+    def node_voltages(self, solution: np.ndarray) -> dict[str, float]:
+        return {name: (complex(solution[i]) if np.iscomplexobj(solution)
+                       else float(solution[i]))
+                for name, i in self.node_index.items()}

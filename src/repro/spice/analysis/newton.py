@@ -1,0 +1,84 @@
+"""Newton-Raphson solution of the nonlinear MNA system."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConvergenceError, SingularMatrixError
+from .mna import MNABuilder, SimState
+
+
+def solve_newton(builder: MNABuilder, state: SimState,
+                 x0: np.ndarray | None = None,
+                 max_iterations: int | None = None) -> np.ndarray:
+    """Iterate the linearised MNA system to convergence.
+
+    Parameters
+    ----------
+    builder:
+        Bound circuit.
+    state:
+        Simulation state; ``state.x`` is updated in place with each iterate
+        and holds the converged solution on return.
+    x0:
+        Initial guess (defaults to the current ``state.x``).
+    max_iterations:
+        Iteration limit (defaults to ``options.itl1``).
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration limit is exceeded.
+    SingularMatrixError
+        If the matrix cannot be factorised at the first iteration.
+    """
+    options = builder.options
+    limit = max_iterations if max_iterations is not None else options.itl1
+    if x0 is not None:
+        state.x = np.array(x0, dtype=float, copy=True)
+    has_nonlinear = any(d.is_nonlinear() for d in builder.devices)
+    num_nodes = builder.num_nodes
+
+    previous = state.x.copy()
+    for iteration in range(1, limit + 1):
+        system = builder.build(state)
+        try:
+            solution = system.solve()
+        except SingularMatrixError:
+            if iteration == 1:
+                raise
+            # A transiently singular linearisation: fall back to a damped
+            # retry from the previous iterate.
+            state.x = 0.5 * (state.x + previous)
+            continue
+
+        delta = solution - state.x
+        # Damp excessive node-voltage excursions to keep the device
+        # linearisations in a sane region.
+        max_step = options.max_voltage_step
+        if max_step > 0.0 and num_nodes > 0:
+            worst = np.max(np.abs(delta[:num_nodes])) if num_nodes else 0.0
+            if worst > max_step:
+                delta *= max_step / worst
+                solution = state.x + delta
+
+        tolerance = np.empty_like(solution)
+        reference = np.maximum(np.abs(solution), np.abs(state.x))
+        tolerance[:num_nodes] = options.reltol * reference[:num_nodes] + options.vntol
+        tolerance[num_nodes:] = options.reltol * reference[num_nodes:] + options.abstol
+        converged = bool(np.all(np.abs(delta) <= tolerance)) and not state.limited
+
+        previous = state.x.copy()
+        state.x = solution
+
+        if converged and (iteration > 1 or not has_nonlinear):
+            return state.x
+
+    worst_index = int(np.argmax(np.abs(state.x - previous)))
+    worst_node = None
+    if worst_index < num_nodes:
+        worst_node = builder.node_names[worst_index]
+    raise ConvergenceError(
+        f"Newton iteration did not converge in {limit} iterations "
+        f"(mode={state.mode}, time={state.time:g})",
+        iterations=limit, worst_node=worst_node)

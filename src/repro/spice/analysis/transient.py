@@ -1,0 +1,205 @@
+"""Transient analysis with fixed print step and adaptive internal stepping."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
+from ..netlist import Circuit, normalize_node, GROUND
+from ..waveform import Waveform
+from .dc import solve_operating_point
+from .mna import MNABuilder, SimState, SimulationOptions
+from .newton import solve_newton
+
+
+class TransientResult:
+    """Node voltages versus time.
+
+    Signals can be read with ``result["11"]``, ``result["v(11)"]`` or
+    :meth:`waveform`, all returning :class:`~repro.spice.waveform.Waveform`
+    objects.
+    """
+
+    def __init__(self, time: np.ndarray, node_traces: dict[str, np.ndarray],
+                 branch_traces: dict[str, np.ndarray] | None = None):
+        self.time = np.asarray(time, dtype=float)
+        self._nodes = node_traces
+        self._branches = branch_traces or {}
+
+    @staticmethod
+    def _canonical(signal: str) -> str:
+        text = signal.strip().lower()
+        if text.startswith("v(") and text.endswith(")"):
+            text = text[2:-1]
+        return normalize_node(text)
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def waveform(self, signal: str) -> Waveform:
+        key = self._canonical(signal)
+        if key == GROUND:
+            return Waveform(self.time, np.zeros_like(self.time), name="v(0)")
+        if key in self._nodes:
+            return Waveform(self.time, self._nodes[key], name=f"v({key})")
+        if key in self._branches:
+            return Waveform(self.time, self._branches[key], name=f"i({key})",
+                            unit="A")
+        raise AnalysisError(f"no recorded signal named {signal!r}")
+
+    def current(self, device_name: str) -> Waveform:
+        key = device_name.strip().lower()
+        if key not in self._branches:
+            raise AnalysisError(f"no recorded branch current for {device_name!r}")
+        return Waveform(self.time, self._branches[key], name=f"i({key})", unit="A")
+
+    def __getitem__(self, signal: str) -> Waveform:
+        return self.waveform(signal)
+
+    def final_voltages(self) -> dict[str, float]:
+        return {name: float(values[-1]) for name, values in self._nodes.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"TransientResult({len(self.time)} points, "
+                f"{len(self._nodes)} nodes)")
+
+
+class TransientAnalysis:
+    """SPICE ``.tran tstep tstop`` equivalent.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit to simulate.
+    tstop:
+        Final time [s].
+    tstep:
+        Print (output) interval [s].
+    use_ic:
+        Skip the DC operating point and start from the supplied
+        ``initial_conditions`` (defaulting to 0 V everywhere), mirroring the
+        SPICE ``UIC`` keyword.  This is how the paper's VCO simulations are
+        started ("after the activation of the supply voltage").
+    initial_conditions:
+        Mapping node name -> initial voltage, honoured when ``use_ic`` is
+        set.
+    """
+
+    def __init__(self, circuit: Circuit, tstop: float, tstep: float,
+                 options: SimulationOptions | None = None,
+                 use_ic: bool = False,
+                 initial_conditions: dict[str, float] | None = None,
+                 record_currents: bool = True):
+        if tstop <= 0.0 or tstep <= 0.0:
+            raise AnalysisError("tstop and tstep must be positive")
+        if tstep > tstop:
+            raise AnalysisError("tstep must not exceed tstop")
+        self.circuit = circuit
+        self.tstop = float(tstop)
+        self.tstep = float(tstep)
+        self.options = options or SimulationOptions()
+        self.use_ic = use_ic
+        self.initial_conditions = dict(initial_conditions or {})
+        self.record_currents = record_currents
+        #: Number of Newton iterations spent in the last run (workload metric).
+        self.total_newton_iterations = 0
+
+    # ------------------------------------------------------------------
+    def _initial_solution(self, builder: MNABuilder) -> np.ndarray:
+        if self.use_ic:
+            x0 = np.zeros(builder.size)
+            # Device-level initial conditions (e.g. ``ic=`` on capacitors
+            # with a grounded negative terminal) seed the node voltages.
+            for device in builder.devices:
+                initial = getattr(device, "initial_voltage", None)
+                if initial is None:
+                    continue
+                pos, neg = device.nodes[0], device.nodes[1]
+                if neg == GROUND and pos in builder.node_index:
+                    x0[builder.node_index[pos]] = float(initial)
+            for node, value in self.initial_conditions.items():
+                node = normalize_node(node)
+                if node in builder.node_index:
+                    x0[builder.node_index[node]] = float(value)
+            return x0
+        return solve_operating_point(builder, self.initial_conditions or None)
+
+    def run(self) -> TransientResult:
+        builder = MNABuilder(self.circuit, self.options)
+        options = self.options
+
+        x0 = self._initial_solution(builder)
+        state = builder.new_state("tran")
+        state.use_ic = self.use_ic
+        state.x = x0.copy()
+        state.time = 0.0
+
+        for device in builder.devices:
+            device.init_state(state)
+
+        num_outputs = int(round(self.tstop / self.tstep)) + 1
+        times = self.tstep * np.arange(num_outputs)
+        node_traces = {name: np.zeros(num_outputs) for name in builder.node_names}
+        branch_names = [d.name.lower() for d in builder.devices
+                        if d.branch_count() > 0] if self.record_currents else []
+        branch_traces = {name: np.zeros(num_outputs) for name in branch_names}
+
+        def record(index: int) -> None:
+            voltages = builder.node_voltages(state.x)
+            for name in builder.node_names:
+                node_traces[name][index] = voltages[name]
+            for device in builder.devices:
+                if device.branch_count() > 0 and device.name.lower() in branch_traces:
+                    branch_traces[device.name.lower()][index] = float(
+                        state.x[device.branch_index])
+
+        record(0)
+
+        use_trap = options.integration.lower().startswith("trap")
+        min_step = self.tstep * options.min_step_fraction
+        step = self.tstep
+        first_step_done = False
+
+        for output_index in range(1, num_outputs):
+            target = times[output_index]
+            while state.time < target - 1e-18 * max(1.0, target):
+                step = min(step, target - state.time)
+                accepted = False
+                while not accepted:
+                    dt = step
+                    # Integration coefficients: backward Euler for the very
+                    # first step (damps the inconsistent initial derivative),
+                    # trapezoidal afterwards if requested.
+                    if use_trap and first_step_done:
+                        state.integ_c0 = 2.0 / dt
+                        state.integ_c1 = 1.0
+                    else:
+                        state.integ_c0 = 1.0 / dt
+                        state.integ_c1 = 0.0
+                    state.dt = dt
+                    state.time = state.time  # unchanged until accepted
+                    saved_x = state.x.copy()
+                    state.time += dt
+                    try:
+                        solve_newton(builder, state, x0=saved_x,
+                                     max_iterations=options.itl4)
+                        accepted = True
+                    except (ConvergenceError, SingularMatrixError):
+                        # Reject: restore and halve the step.
+                        state.time -= dt
+                        state.x = saved_x
+                        step *= 0.5
+                        if step < min_step:
+                            raise ConvergenceError(
+                                f"transient step fell below the minimum at "
+                                f"t={state.time:g}s")
+                for device in builder.devices:
+                    device.accept_timestep(state)
+                first_step_done = True
+                # Gentle step recovery towards the print interval.
+                if step < self.tstep:
+                    step = min(step * 2.0, self.tstep)
+            record(output_index)
+
+        return TransientResult(times, node_traces, branch_traces)

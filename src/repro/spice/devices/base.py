@@ -1,0 +1,197 @@
+"""Device base classes and shared stamping helpers.
+
+Every device knows how to *stamp* itself into a modified-nodal-analysis (MNA)
+system for the analysis modes supported by the simulator:
+
+``stamp(system, state)``
+    Large-signal stamp used by the operating point, DC sweep and transient
+    analyses.  Nonlinear devices linearise themselves around the present
+    Newton guess found in ``state.x``.
+``stamp_ac(system, state)``
+    Small-signal stamp used by the AC analysis.  Nonlinear devices use the
+    conductances stored during the last operating-point stamp.
+
+Node and branch matrix indices are resolved once per analysis by
+:meth:`Device.bind` and :meth:`Device.assign_branches`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...errors import NetlistError
+from ..netlist import GROUND, normalize_node
+
+
+class Device:
+    """Base class of all circuit elements."""
+
+    #: SPICE netlist prefix letter (``R``, ``C``, ``M`` ...).
+    PREFIX = "?"
+    #: Number of terminals; subclasses with a variable count override checks.
+    NUM_TERMINALS: int | None = None
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise NetlistError("device name must not be empty")
+        self.name = str(name)
+        node_list = [normalize_node(n) for n in nodes]
+        if self.NUM_TERMINALS is not None and len(node_list) != self.NUM_TERMINALS:
+            raise NetlistError(
+                f"{type(self).__name__} {name!r} needs {self.NUM_TERMINALS} "
+                f"nodes, got {len(node_list)}")
+        self.nodes: list[str] = node_list
+        self._idx: list[int] = []
+        self._branches: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def rename_node(self, old: str, new: str) -> int:
+        """Rename terminal connections from ``old`` to ``new``; return count."""
+        old = normalize_node(old)
+        new = normalize_node(new)
+        count = 0
+        for position, node in enumerate(self.nodes):
+            if node == old:
+                self.nodes[position] = new
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Analysis plumbing
+    # ------------------------------------------------------------------
+    def prepare(self, circuit) -> None:
+        """Resolve model cards and cache derived parameters.
+
+        Called once per analysis before any stamping.  The default does
+        nothing.
+        """
+
+    def branch_count(self) -> int:
+        """Number of extra branch-current unknowns this device introduces."""
+        return 0
+
+    def is_nonlinear(self) -> bool:
+        """True when the device requires Newton-Raphson iteration."""
+        return False
+
+    def bind(self, node_index: dict[str, int]) -> None:
+        """Store the matrix row/column index of each terminal (-1 = ground)."""
+        self._idx = [node_index.get(n, -1) if n != GROUND else -1
+                     for n in self.nodes]
+
+    def assign_branches(self, first: int) -> int:
+        """Reserve branch-current rows starting at ``first``; return count."""
+        count = self.branch_count()
+        self._branches = list(range(first, first + count))
+        return count
+
+    @property
+    def branch_index(self) -> int:
+        """Index of the first (usually only) branch-current unknown."""
+        if not self._branches:
+            raise NetlistError(f"device {self.name!r} has no branch current")
+        return self._branches[0]
+
+    # ------------------------------------------------------------------
+    # Dynamic state (transient history)
+    # ------------------------------------------------------------------
+    def init_state(self, state) -> None:
+        """Initialise transient history from the initial solution."""
+
+    def accept_timestep(self, state) -> None:
+        """Commit the accepted solution of the current timestep to history."""
+
+    # ------------------------------------------------------------------
+    # Stamps
+    # ------------------------------------------------------------------
+    def stamp(self, system, state) -> None:
+        raise NotImplementedError
+
+    def stamp_ac(self, system, state) -> None:
+        """Default small-signal stamp: nothing (open circuit)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}({self.name!r}, {self.nodes})"
+
+
+def stamp_conductance(system, i: int, j: int, g: float) -> None:
+    """Stamp a conductance ``g`` between matrix rows ``i`` and ``j``.
+
+    Either index may be ``-1`` to denote the ground node.
+    """
+    system.add(i, i, g)
+    system.add(j, j, g)
+    system.add(i, j, -g)
+    system.add(j, i, -g)
+
+
+def stamp_current_source(system, i: int, j: int, current: float) -> None:
+    """Stamp an independent current ``current`` flowing from node i to node j
+    through the source (i.e. it is extracted from node i and injected into
+    node j)."""
+    system.add_rhs(i, -current)
+    system.add_rhs(j, current)
+
+
+def stamp_vccs(system, out_p: int, out_n: int, in_p: int, in_n: int,
+               gm: float) -> None:
+    """Stamp a voltage-controlled current source of transconductance ``gm``.
+
+    The current ``gm * (v(in_p) - v(in_n))`` flows from ``out_p`` to
+    ``out_n`` inside the device (it leaves node ``out_p``).
+    """
+    system.add(out_p, in_p, gm)
+    system.add(out_p, in_n, -gm)
+    system.add(out_n, in_p, -gm)
+    system.add(out_n, in_n, gm)
+
+
+class CompanionCapacitor:
+    """A linear capacitance stamped via its companion model.
+
+    Used both by the explicit :class:`~repro.spice.devices.passives.Capacitor`
+    device and by the MOSFET terminal capacitances.  The companion model uses
+    the integration coefficients published by the transient driver in the
+    simulation state (``state.integ_c0``, ``state.integ_c1``).
+    """
+
+    def __init__(self, capacitance: float):
+        self.capacitance = float(capacitance)
+        self.v_prev = 0.0
+        self.i_prev = 0.0
+
+    def init_state(self, v_initial: float) -> None:
+        self.v_prev = v_initial
+        self.i_prev = 0.0
+
+    def stamp_tran(self, system, state, pos: int, neg: int) -> None:
+        if self.capacitance <= 0.0:
+            return
+        geq = state.integ_c0 * self.capacitance
+        ieq = -(geq * self.v_prev + state.integ_c1 * self.i_prev)
+        stamp_conductance(system, pos, neg, geq)
+        # Branch current i = geq*v + ieq flows from pos to neg.
+        stamp_current_source(system, pos, neg, ieq)
+
+    def stamp_ac(self, system, state, pos: int, neg: int) -> None:
+        if self.capacitance <= 0.0:
+            return
+        admittance = 1j * state.omega * self.capacitance
+        stamp_conductance(system, pos, neg, admittance)
+
+    def accept(self, state, pos: int, neg: int) -> None:
+        if self.capacitance <= 0.0:
+            return
+        v_now = state.v(pos) - state.v(neg)
+        geq = state.integ_c0 * self.capacitance
+        ieq = -(geq * self.v_prev + state.integ_c1 * self.i_prev)
+        self.i_prev = geq * v_now + ieq
+        self.v_prev = v_now
+
+    def current(self, state, pos: int, neg: int) -> float:
+        """Current through the capacitor at the present (accepted) solution."""
+        if self.capacitance <= 0.0:
+            return 0.0
+        return self.i_prev

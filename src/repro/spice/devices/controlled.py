@@ -1,0 +1,135 @@
+"""Linear controlled sources (E, G, F, H elements)."""
+
+from __future__ import annotations
+
+from ...errors import NetlistError
+from ...units import parse_value
+from .base import Device, stamp_vccs
+
+
+class VoltageControlledVoltageSource(Device):
+    """E element: ``E<name> out+ out- in+ in- gain``."""
+
+    PREFIX = "E"
+    NUM_TERMINALS = 4
+
+    def __init__(self, name, out_pos, out_neg, in_pos, in_neg, gain):
+        super().__init__(name, [out_pos, out_neg, in_pos, in_neg])
+        self.gain = parse_value(gain)
+
+    def branch_count(self) -> int:
+        return 1
+
+    def _stamp_common(self, system) -> None:
+        op, on, ip, inn = self._idx
+        br = self.branch_index
+        system.add(op, br, 1.0)
+        system.add(on, br, -1.0)
+        system.add(br, op, 1.0)
+        system.add(br, on, -1.0)
+        system.add(br, ip, -self.gain)
+        system.add(br, inn, self.gain)
+
+    def stamp(self, system, state) -> None:
+        self._stamp_common(system)
+
+    def stamp_ac(self, system, state) -> None:
+        self._stamp_common(system)
+
+
+class VoltageControlledCurrentSource(Device):
+    """G element: ``G<name> out+ out- in+ in- transconductance``."""
+
+    PREFIX = "G"
+    NUM_TERMINALS = 4
+
+    def __init__(self, name, out_pos, out_neg, in_pos, in_neg, transconductance):
+        super().__init__(name, [out_pos, out_neg, in_pos, in_neg])
+        self.transconductance = parse_value(transconductance)
+
+    def stamp(self, system, state) -> None:
+        op, on, ip, inn = self._idx
+        stamp_vccs(system, op, on, ip, inn, self.transconductance)
+
+    def stamp_ac(self, system, state) -> None:
+        self.stamp(system, state)
+
+
+class CurrentControlledCurrentSource(Device):
+    """F element: ``F<name> out+ out- vname gain``.
+
+    The controlling current is the branch current of voltage source
+    ``vname``.
+    """
+
+    PREFIX = "F"
+    NUM_TERMINALS = 2
+
+    def __init__(self, name, out_pos, out_neg, control_source: str, gain):
+        super().__init__(name, [out_pos, out_neg])
+        if not control_source:
+            raise NetlistError(f"F element {name!r} needs a controlling source")
+        self.control_source = str(control_source)
+        self.gain = parse_value(gain)
+        self._control_branch = -1
+
+    def prepare(self, circuit) -> None:
+        control = circuit.device(self.control_source)
+        if control.branch_count() < 1:
+            raise NetlistError(
+                f"controlling element {self.control_source!r} of {self.name!r} "
+                "has no branch current")
+        self._control = control
+
+    def _stamp_common(self, system) -> None:
+        op, on = self._idx
+        br = self._control.branch_index
+        system.add(op, br, self.gain)
+        system.add(on, br, -self.gain)
+
+    def stamp(self, system, state) -> None:
+        self._stamp_common(system)
+
+    def stamp_ac(self, system, state) -> None:
+        self._stamp_common(system)
+
+
+class CurrentControlledVoltageSource(Device):
+    """H element: ``H<name> out+ out- vname transresistance``."""
+
+    PREFIX = "H"
+    NUM_TERMINALS = 2
+
+    def __init__(self, name, out_pos, out_neg, control_source: str, transresistance):
+        super().__init__(name, [out_pos, out_neg])
+        if not control_source:
+            raise NetlistError(f"H element {name!r} needs a controlling source")
+        self.control_source = str(control_source)
+        self.transresistance = parse_value(transresistance)
+
+    def branch_count(self) -> int:
+        return 1
+
+    def prepare(self, circuit) -> None:
+        control = circuit.device(self.control_source)
+        if control.branch_count() < 1:
+            raise NetlistError(
+                f"controlling element {self.control_source!r} of {self.name!r} "
+                "has no branch current")
+        self._control = control
+
+    def _stamp_common(self, system) -> None:
+        op, on = self._idx
+        br = self.branch_index
+        control_br = self._control.branch_index
+        system.add(op, br, 1.0)
+        system.add(on, br, -1.0)
+        system.add(br, op, 1.0)
+        system.add(br, on, -1.0)
+        system.add(br, control_br, -self.transresistance)
+
+    def stamp(self, system, state) -> None:
+        self._stamp_common(system)
+
+    def stamp_ac(self, system, state) -> None:
+        self._stamp_common(system)

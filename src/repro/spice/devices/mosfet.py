@@ -1,0 +1,276 @@
+"""Level-1 (Shichman-Hodges) MOSFET model.
+
+The model covers cutoff / linear / saturation operation, body effect,
+channel-length modulation and fixed terminal capacitances (gate overlap,
+gate oxide and junction capacitances).  It is the workhorse device for the
+VCO test case of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...errors import ModelError
+from ...units import EPS0, EPS_SIO2, parse_value
+from .base import CompanionCapacitor, Device, stamp_current_source
+from .limits import fetlim, limvds
+
+#: Default model parameters for the level-1 model (SPICE defaults).
+DEFAULT_MOS_PARAMS = {
+    "vto": 0.8,
+    "kp": 2.0e-5,
+    "gamma": 0.4,
+    "phi": 0.65,
+    "lambda": 0.02,
+    "tox": 2.5e-8,
+    "cgso": 2.0e-10,   # F/m of gate width
+    "cgdo": 2.0e-10,
+    "cgbo": 0.0,
+    "cj": 3.0e-4,      # F/m^2 of junction area
+    "cjsw": 2.5e-10,   # F/m of junction perimeter
+    "is": 1e-14,
+}
+
+
+class Mosfet(Device):
+    """MOSFET ``M<name> drain gate source bulk model W=... L=...``.
+
+    Geometry parameters ``w`` and ``l`` are in metres, ``ad``/``as_`` in
+    square metres and ``pd``/``ps`` in metres, following SPICE conventions.
+    """
+
+    PREFIX = "M"
+    NUM_TERMINALS = 4
+
+    def __init__(self, name, drain, gate, source, bulk, model: str,
+                 w=10e-6, l=2e-6, ad=0.0, as_=0.0, pd=0.0, ps=0.0,
+                 m: float = 1.0):
+        super().__init__(name, [drain, gate, source, bulk])
+        self.model_name = str(model)
+        self.w = parse_value(w)
+        self.l = parse_value(l)
+        self.ad = parse_value(ad)
+        self.as_ = parse_value(as_)
+        self.pd = parse_value(pd)
+        self.ps = parse_value(ps)
+        self.multiplier = parse_value(m)
+        # Resolved model parameters (filled in by prepare()).
+        self.polarity = 1.0
+        self.params = dict(DEFAULT_MOS_PARAMS)
+        # Newton history for voltage limiting.
+        self._vgs_last = 0.0
+        self._vds_last = 0.0
+        # Last linearisation (for AC analysis).
+        self._op = {"ids": 0.0, "gm": 0.0, "gds": 0.0, "gmbs": 0.0,
+                    "vgs": 0.0, "vds": 0.0, "vbs": 0.0, "reverse": False}
+        self._caps: dict[str, CompanionCapacitor] = {}
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+    def is_nonlinear(self) -> bool:
+        return True
+
+    def prepare(self, circuit) -> None:
+        model = circuit.model(self.model_name)
+        if model.kind not in ("nmos", "pmos"):
+            raise ModelError(
+                f"device {self.name!r}: model {self.model_name!r} is of kind "
+                f"{model.kind!r}, expected nmos/pmos")
+        self.polarity = 1.0 if model.kind == "nmos" else -1.0
+        params = dict(DEFAULT_MOS_PARAMS)
+        params.update(model.params)
+        self.params = params
+        self._vgs_last = 0.0
+        self._vds_last = 0.0
+        self._build_capacitances()
+
+    def _build_capacitances(self) -> None:
+        p = self.params
+        cox = EPS0 * EPS_SIO2 / float(p["tox"])
+        area = self.w * self.l
+        cgs = float(p["cgso"]) * self.w + 0.5 * cox * area
+        cgd = float(p["cgdo"]) * self.w + 0.5 * cox * area
+        cgb = float(p["cgbo"]) * self.l
+        cdb = float(p["cj"]) * self.ad + float(p["cjsw"]) * self.pd
+        csb = float(p["cj"]) * self.as_ + float(p["cjsw"]) * self.ps
+        scale = self.multiplier
+        self._caps = {
+            "gs": CompanionCapacitor(cgs * scale),
+            "gd": CompanionCapacitor(cgd * scale),
+            "gb": CompanionCapacitor(cgb * scale),
+            "db": CompanionCapacitor(cdb * scale),
+            "sb": CompanionCapacitor(csb * scale),
+        }
+
+    def _cap_nodes(self, key: str) -> tuple[int, int]:
+        d, g, s, b = self._idx
+        mapping = {"gs": (g, s), "gd": (g, d), "gb": (g, b),
+                   "db": (d, b), "sb": (s, b)}
+        return mapping[key]
+
+    # ------------------------------------------------------------------
+    # Large-signal evaluation (in the polarity-normalised frame)
+    # ------------------------------------------------------------------
+    def _threshold(self, vbs: float) -> tuple[float, float]:
+        """Return (von, dvon_dvbs) including body effect."""
+        p = self.params
+        vto = float(p["vto"]) * (1.0 if self.polarity > 0 else -1.0)
+        # Normalise so that vto is positive in the evaluation frame.
+        vto = abs(float(p["vto"]))
+        gamma = float(p["gamma"])
+        phi = max(float(p["phi"]), 0.1)
+        if gamma == 0.0:
+            return vto, 0.0
+        if vbs <= 0.0:
+            sqrt_term = math.sqrt(phi - vbs)
+            von = vto + gamma * (sqrt_term - math.sqrt(phi))
+            dvon = -gamma / (2.0 * sqrt_term)
+        else:
+            sqrt_phi = math.sqrt(phi)
+            denom = 1.0 + vbs / (2.0 * phi)
+            sqrt_term = sqrt_phi / denom
+            von = vto + gamma * (sqrt_term - sqrt_phi)
+            dvon = -gamma * sqrt_phi / (2.0 * phi * denom * denom)
+        return von, dvon
+
+    def _drain_current(self, vgs: float, vds: float, vbs: float
+                       ) -> tuple[float, float, float, float]:
+        """Return (ids, gm, gds, gmbs) for vds >= 0 in the normalised frame."""
+        p = self.params
+        beta = float(p["kp"]) * self.multiplier * self.w / self.l
+        lam = float(p["lambda"])
+        von, dvon = self._threshold(vbs)
+        vgst = vgs - von
+        if vgst <= 0.0:
+            return 0.0, 0.0, 0.0, 0.0
+        clm = 1.0 + lam * vds
+        if vgst <= vds:
+            # Saturation.
+            ids = 0.5 * beta * vgst * vgst * clm
+            gm = beta * vgst * clm
+            gds = 0.5 * beta * vgst * vgst * lam
+        else:
+            # Linear (triode).
+            ids = beta * (vgst - 0.5 * vds) * vds * clm
+            gm = beta * vds * clm
+            gds = beta * (vgst - vds) * clm + beta * (vgst - 0.5 * vds) * vds * lam
+        gmbs = -gm * dvon
+        return ids, gm, gds, gmbs
+
+    # ------------------------------------------------------------------
+    # Stamping
+    # ------------------------------------------------------------------
+    def stamp(self, system, state) -> None:
+        d, g, s, b = self._idx
+        pol = self.polarity
+        vd = state.v(d)
+        vg = state.v(g)
+        vs = state.v(s)
+        vb = state.v(b)
+        vds = pol * (vd - vs)
+        reverse = vds < 0.0
+        if reverse:
+            # Exchange drain and source roles for the evaluation.
+            e_d, e_s = s, d
+            vds_f = -vds
+            vgs_f = pol * (vg - state.v(e_s))
+            vbs_f = pol * (vb - state.v(e_s))
+        else:
+            e_d, e_s = d, s
+            vds_f = vds
+            vgs_f = pol * (vg - vs)
+            vbs_f = pol * (vb - vs)
+
+        # Newton step limiting on the evaluation-frame voltages.
+        vgs_requested, vds_requested = vgs_f, vds_f
+        vgs_f = fetlim(vgs_f, self._vgs_last, self._threshold(vbs_f)[0])
+        vds_f = limvds(vds_f, self._vds_last)
+        if (abs(vgs_f - vgs_requested) > 1e-6 + 1e-3 * abs(vgs_requested)
+                or abs(vds_f - vds_requested) > 1e-6 + 1e-3 * abs(vds_requested)):
+            state.limited = True
+        self._vgs_last = vgs_f
+        self._vds_last = vds_f
+
+        ids, gm, gds, gmbs = self._drain_current(vgs_f, vds_f, vbs_f)
+        self._op = {"ids": ids, "gm": gm, "gds": gds, "gmbs": gmbs,
+                    "vgs": vgs_f, "vds": vds_f, "vbs": vbs_f,
+                    "reverse": reverse}
+
+        # Equivalent current of the linearised characteristic
+        # (in the evaluation frame, flowing from e_d to e_s).
+        ieq = ids - gm * vgs_f - gds * vds_f - gmbs * vbs_f
+
+        gds_tot = gds + state.gmin
+        # Conductance stamps: identical pattern for NMOS/PMOS and for
+        # normal/reverse operation (the frame change already swapped e_d/e_s).
+        system.add(e_d, g, gm)
+        system.add(e_d, e_d, gds_tot)
+        system.add(e_d, e_s, -(gm + gds_tot + gmbs))
+        system.add(e_d, b, gmbs)
+        system.add(e_s, g, -gm)
+        system.add(e_s, e_d, -gds_tot)
+        system.add(e_s, e_s, gm + gds_tot + gmbs)
+        system.add(e_s, b, -gmbs)
+        stamp_current_source(system, e_d, e_s, pol * ieq)
+
+        if state.mode == "tran":
+            for key, cap in self._caps.items():
+                pos, neg = self._cap_nodes(key)
+                cap.stamp_tran(system, state, pos, neg)
+
+    def stamp_ac(self, system, state) -> None:
+        d, g, s, b = self._idx
+        op = self._op
+        e_d, e_s = (s, d) if op["reverse"] else (d, s)
+        gm, gds, gmbs = op["gm"], op["gds"] + state.gmin, op["gmbs"]
+        system.add(e_d, g, gm)
+        system.add(e_d, e_d, gds)
+        system.add(e_d, e_s, -(gm + gds + gmbs))
+        system.add(e_d, b, gmbs)
+        system.add(e_s, g, -gm)
+        system.add(e_s, e_d, -gds)
+        system.add(e_s, e_s, gm + gds + gmbs)
+        system.add(e_s, b, -gmbs)
+        for key, cap in self._caps.items():
+            pos, neg = self._cap_nodes(key)
+            cap.stamp_ac(system, state, pos, neg)
+
+    # ------------------------------------------------------------------
+    # Transient history
+    # ------------------------------------------------------------------
+    def init_state(self, state) -> None:
+        for key, cap in self._caps.items():
+            pos, neg = self._cap_nodes(key)
+            cap.init_state(state.v(pos) - state.v(neg))
+        self._vgs_last = 0.0
+        self._vds_last = 0.0
+
+    def accept_timestep(self, state) -> None:
+        for key, cap in self._caps.items():
+            pos, neg = self._cap_nodes(key)
+            cap.accept(state, pos, neg)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def operating_point(self) -> dict:
+        """Last linearisation values (ids, gm, gds, gmbs ...)."""
+        return dict(self._op)
+
+    def drain_current(self, state) -> float:
+        """Drain current at the present solution (positive into the drain for
+        an NMOS in normal operation)."""
+        d, g, s, b = self._idx
+        pol = self.polarity
+        vds = pol * (state.v(d) - state.v(s))
+        if vds >= 0.0:
+            vgs = pol * (state.v(g) - state.v(s))
+            vbs = pol * (state.v(b) - state.v(s))
+            ids, _, _, _ = self._drain_current(vgs, vds, vbs)
+            return pol * ids
+        vgd = pol * (state.v(g) - state.v(d))
+        vbd = pol * (state.v(b) - state.v(d))
+        ids, _, _, _ = self._drain_current(vgd, -vds, vbd)
+        return -pol * ids

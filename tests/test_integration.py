@@ -1,0 +1,163 @@
+"""Integration tests: the pieces of the CAT environment working together.
+
+These mirror the paper's experiments at reduced scale so that the whole suite
+stays fast: shorter transients and hand-picked faults instead of the full
+105-fault campaign (the benchmarks run the full-size versions).
+"""
+
+import pytest
+
+from repro.anafault import (
+    CampaignSettings,
+    FaultModelOptions,
+    FaultSimulator,
+    ToleranceSettings,
+    WaveformComparator,
+    inject_fault,
+)
+from repro.circuits import OUTPUT_NODE, build_vco
+from repro.lift import (
+    BridgingFault,
+    FaultList,
+    OpenFault,
+    ParametricFault,
+    SplitNodeFault,
+    StuckOpenFault,
+)
+from repro.spice import Resistor, TransientAnalysis, parse_netlist, write_netlist
+
+SHORT_TRAN = dict(tstop=3e-6, tstep=1.5e-8, use_ic=True)
+
+
+def _run(circuit):
+    return TransientAnalysis(circuit, **SHORT_TRAN).run()[OUTPUT_NODE]
+
+
+class TestFigure2FaultTypes:
+    """Every fault type of Fig. 2 can be injected and simulated."""
+
+    def test_local_short(self, vco_circuit, vco_short_transient):
+        fault = BridgingFault(1, net_a="5", net_b="6", scope="local")
+        wave = _run(inject_fault(vco_circuit, fault))
+        assert len(wave) > 0  # simulates without error
+
+    def test_global_short_kills_oscillation(self, vco_circuit, vco_short_transient):
+        nominal = vco_short_transient[OUTPUT_NODE]
+        fault = BridgingFault(2, net_a="1", net_b="5", origin_layer="metal1")
+        wave = _run(inject_fault(vco_circuit, fault))
+        assert nominal.oscillates(min_swing=3.0)
+        assert not wave.oscillates(min_swing=3.0)
+
+    def test_local_open(self, vco_circuit):
+        fault = OpenFault(3, device="M5", terminal="drain")
+        wave = _run(inject_fault(vco_circuit, fault))
+        # Charge current interrupted: the oscillator stops.
+        assert not wave.oscillates(min_swing=3.0)
+
+    def test_split_node(self, vco_circuit):
+        fault = SplitNodeFault(4, net="12",
+                               group_b=(("M21", "gate"), ("M23", "gate")))
+        wave = _run(inject_fault(vco_circuit, fault))
+        assert len(wave) > 0
+
+    def test_stuck_open(self, vco_circuit):
+        fault = StuckOpenFault(5, device="M9", terminal="drain")
+        wave = _run(inject_fault(vco_circuit, fault))
+        assert len(wave) > 0
+
+    def test_parametric_soft_fault_changes_frequency(self, vco_circuit,
+                                                     vco_short_transient):
+        nominal_frequency = vco_short_transient[OUTPUT_NODE].frequency()
+        fault = ParametricFault(6, device="C1", parameter="value",
+                                relative_change=-0.5)
+        wave = _run(inject_fault(vco_circuit, fault))
+        assert wave.oscillates(min_swing=3.0)
+        assert wave.frequency() > nominal_frequency * 1.2
+
+
+class TestInjectedNetlistRoundTrip:
+    """Fault injection survives the netlist text round trip (AnaFAULT's
+    preprocessing of the original input file)."""
+
+    def test_bridge_roundtrip(self, vco_circuit):
+        faulty = inject_fault(vco_circuit, BridgingFault(7, net_a="1", net_b="5"))
+        text = write_netlist(faulty)
+        reparsed = parse_netlist(text).circuit
+        assert len(reparsed) == len(faulty)
+        shorts = [d for d in reparsed.devices_of_type(Resistor)
+                  if d.resistance == pytest.approx(0.01)]
+        assert len(shorts) == 1
+
+    def test_open_roundtrip(self, vco_circuit):
+        faulty = inject_fault(vco_circuit, StuckOpenFault(8, device="M25",
+                                                          terminal="drain"))
+        reparsed = parse_netlist(write_netlist(faulty)).circuit
+        assert reparsed.device("M25").nodes[0] == faulty.device("M25").nodes[0]
+
+
+class TestFigure4Waveforms:
+    def test_fault_classes_of_fig4(self, vco_circuit, vco_short_transient):
+        """One bridge kills the oscillation (like #339 in the paper), another
+        changes the oscillation frequency (like #6)."""
+        nominal = vco_short_transient[OUTPUT_NODE]
+        killed = _run(inject_fault(vco_circuit,
+                                   BridgingFault(1, net_a="1", net_b="5")))
+        shifted = _run(inject_fault(vco_circuit,
+                                    BridgingFault(2, net_a="9", net_b="0")))
+        assert not killed.oscillates(min_swing=3.0)
+        assert shifted.oscillates(min_swing=3.0)
+        assert abs(shifted.frequency() - nominal.frequency()) > 0.2 * nominal.frequency()
+
+
+class TestFigure6ResistorSweep:
+    def test_shorting_resistor_value_controls_impact(self, vco_circuit,
+                                                     vco_short_transient):
+        """Fig. 6: the value of the shorting resistor bridging the drain of
+        the Schmitt-trigger transistor M11 to ground determines how strongly
+        the oscillation is affected.  (In our lower-current Schmitt trigger
+        the graded transition happens at ~1 MOhm .. 1 kOhm instead of
+        1 kOhm .. 1 Ohm, which only strengthens the paper's point that the
+        optimal resistor value is circuit dependent.)"""
+        nominal = vco_short_transient[OUTPUT_NODE]
+        fault = BridgingFault(1, net_a="10", net_b="0", origin_layer="metal1")
+        weak = inject_fault(vco_circuit, fault,
+                            FaultModelOptions.resistor(short_resistance=1e6))
+        strong = inject_fault(vco_circuit, fault,
+                              FaultModelOptions.resistor(short_resistance=1.0))
+        weak_wave = _run(weak)
+        strong_wave = _run(strong)
+        comparator = WaveformComparator(ToleranceSettings(2.0, 0.2e-6))
+        assert weak_wave.oscillates(min_swing=3.0)
+        assert not strong_wave.oscillates(min_swing=3.0)
+        assert comparator.compare(nominal, strong_wave).detected
+
+
+class TestSmallVCOCampaign:
+    def test_campaign_on_handpicked_faults(self, vco_circuit,
+                                           fast_campaign_settings):
+        faults = FaultList("handpicked")
+        faults.add(BridgingFault(1, probability=3e-7, net_a="1", net_b="5",
+                                 origin_layer="metal1"))
+        faults.add(OpenFault(2, probability=1e-7, device="M5", terminal="drain"))
+        faults.add(BridgingFault(3, probability=5e-8, net_a="13", net_b="14",
+                                 origin_layer="metal1"))
+        simulator = FaultSimulator(vco_circuit, faults, fast_campaign_settings)
+        result = simulator.run()
+        by_id = {r.fault.fault_id: r for r in result.records}
+        assert by_id[1].detected
+        assert by_id[2].detected
+        # Nets 13 and 14 always carry the same logic value: undetectable.
+        assert not by_id[3].detected
+        coverage = result.coverage()
+        assert coverage.final_coverage() == pytest.approx(2 / 3)
+        assert coverage.final_weighted_coverage() > coverage.final_coverage()
+
+    def test_weighted_coverage_uses_probabilities(self, vco_circuit,
+                                                  fast_campaign_settings):
+        faults = FaultList("weights")
+        faults.add(BridgingFault(1, probability=9e-7, net_a="1", net_b="5"))
+        faults.add(BridgingFault(2, probability=1e-9, net_a="13", net_b="14"))
+        result = FaultSimulator(vco_circuit, faults, fast_campaign_settings).run()
+        coverage = result.coverage()
+        assert coverage.final_coverage() == pytest.approx(0.5)
+        assert coverage.final_weighted_coverage() > 0.99

@@ -1,0 +1,202 @@
+"""Tests for layers, technology, the layout database, text I/O and the
+procedural layout generator."""
+
+import pytest
+
+from repro.errors import LayoutError, TechnologyError
+from repro.layout import (
+    CONTACT,
+    METAL1,
+    METAL2,
+    NDIFF,
+    NWELL,
+    PDIFF,
+    POLY,
+    VIA,
+    Layout,
+    Rect,
+    Technology,
+    default_technology,
+    generate_layout,
+    layer_by_name,
+    textio,
+)
+from repro.layout.builder import LayoutGenerator
+from repro.circuits import build_cmos_inverter, build_vco
+
+
+class TestLayers:
+    def test_lookup_by_name(self):
+        assert layer_by_name("metal1") is METAL1
+        assert layer_by_name("METAL_2") is METAL2
+        assert layer_by_name("m1") is METAL1
+        assert layer_by_name("polysilicon") is POLY
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(TechnologyError):
+            layer_by_name("metal7")
+
+    def test_purposes(self):
+        assert METAL1.purpose == "conductor"
+        assert CONTACT.purpose == "cut"
+        assert NWELL.purpose == "base"
+
+
+class TestTechnology:
+    def test_default_rules_present(self):
+        tech = default_technology()
+        for layer in (NDIFF, PDIFF, POLY, METAL1, METAL2, CONTACT, VIA):
+            assert tech.min_width(layer) > 0
+            assert tech.min_spacing(layer) > 0
+
+    def test_pitch(self):
+        tech = default_technology()
+        rules = tech.rules(METAL1)
+        assert rules.pitch == rules.routing_width + rules.min_spacing
+
+    def test_missing_rules_raise(self):
+        tech = Technology(layer_rules={"metal1": default_technology().rules(METAL1)})
+        with pytest.raises(TechnologyError):
+            tech.rules(POLY)
+
+
+class TestLayoutDatabase:
+    def test_add_rect_normalises_coordinates(self):
+        layout = Layout("t")
+        shape = layout.add_rect(METAL1, 5, 5, 0, 0)
+        assert shape.rect == Rect(0, 0, 5, 5)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout().add_rect(METAL1, 0, 0, 0, 5)
+
+    def test_layer_queries(self):
+        layout = Layout()
+        layout.add_rect(METAL1, 0, 0, 1, 1)
+        layout.add_rect(POLY, 0, 0, 2, 2)
+        assert len(layout.shapes_on(METAL1)) == 1
+        assert len(layout.shapes_on("poly")) == 1
+        assert {l.name for l in layout.layers_used()} == {"metal1", "poly"}
+
+    def test_bbox_and_area(self):
+        layout = Layout()
+        layout.add_rect(METAL1, 0, 0, 2, 2)
+        layout.add_rect(METAL1, 4, 4, 6, 6)
+        assert layout.bbox() == Rect(0, 0, 6, 6)
+        assert layout.layer_area(METAL1) == pytest.approx(8.0)
+
+    def test_labels(self):
+        layout = Layout()
+        layout.add_rect(METAL1, 0, 0, 2, 2)
+        layout.add_label(METAL1, 1, 1, "vdd")
+        assert layout.labels_on(METAL1)[0].text == "vdd"
+
+    def test_merge_with_translation(self):
+        a = Layout("a")
+        a.add_rect(METAL1, 0, 0, 1, 1)
+        b = Layout("b")
+        b.add_rect(METAL1, 0, 0, 1, 1)
+        b.add_label(METAL1, 0.5, 0.5, "x")
+        a.merge(b, dx=10, dy=0)
+        assert a.bbox() == Rect(0, 0, 11, 1)
+        assert a.labels[0].x == pytest.approx(10.5)
+
+    def test_statistics_keys(self):
+        layout = Layout()
+        layout.add_rect(METAL1, 0, 0, 2, 2)
+        stats = layout.statistics()
+        assert stats["shape_count"] == 1
+        assert stats["metal1_area_um2"] == pytest.approx(4.0)
+
+
+class TestTextIO:
+    def test_roundtrip(self):
+        layout = Layout("cell_a")
+        layout.add_rect(METAL1, 0, 0, 3, 1.5, net_hint="5", purpose="trunk")
+        layout.add_rect(POLY, 1, 1, 2, 2)
+        layout.add_label(METAL1, 0.5, 0.5, "5")
+        text = textio.dumps(layout)
+        restored = textio.loads(text)
+        assert restored.name == "cell_a"
+        assert len(restored.shapes) == 2
+        assert restored.shapes[0].net_hint == "5"
+        assert restored.shapes[0].purpose == "trunk"
+        assert restored.labels[0].text == "5"
+
+    def test_file_roundtrip(self, tmp_path):
+        layout = Layout("cell_b")
+        layout.add_rect(METAL2, 0, 0, 4, 4)
+        path = tmp_path / "cell.lay"
+        textio.write_file(layout, path)
+        restored = textio.read_file(path)
+        assert restored.layer_area(METAL2) == pytest.approx(16.0)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(LayoutError):
+            textio.loads("CELL x\nRECT metal1 0 0\nEND\n")
+
+    def test_missing_cell_raises(self):
+        with pytest.raises(LayoutError):
+            textio.loads("# nothing here\n")
+
+    def test_comments_ignored(self):
+        restored = textio.loads("# c\nCELL x\n# c2\nRECT poly 0 0 1 1\nEND\n")
+        assert len(restored.shapes) == 1
+
+
+class TestLayoutGenerator:
+    def test_inverter_layout_layers(self):
+        circuit = build_cmos_inverter()
+        layout = generate_layout(circuit)
+        assert layout.shapes_on(NDIFF), "NMOS diffusion missing"
+        assert layout.shapes_on(PDIFF), "PMOS diffusion missing"
+        assert layout.shapes_on(POLY)
+        assert layout.shapes_on(CONTACT)
+        assert layout.shapes_on(METAL1)
+        assert layout.shapes_on(METAL2)
+        assert layout.shapes_on(VIA)
+        assert len(layout.shapes_on(NWELL)) == 1
+
+    def test_gate_crosses_diffusion(self):
+        circuit = build_cmos_inverter()
+        layout = generate_layout(circuit)
+        crossings = 0
+        for poly in layout.rects_on(POLY):
+            for diff in layout.rects_on(NDIFF) + layout.rects_on(PDIFF):
+                clip = poly.intersection(diff)
+                if clip is not None and clip.area > 0:
+                    crossings += 1
+        assert crossings == 2  # one NMOS + one PMOS channel
+
+    def test_every_net_has_label(self):
+        circuit = build_cmos_inverter()
+        generator = LayoutGenerator(circuit)
+        layout = generator.generate()
+        labels = {l.text for l in layout.labels}
+        for net in generator._net_order:
+            assert net in labels
+
+    def test_vco_layout_statistics(self, vco_layout):
+        stats = vco_layout.statistics()
+        assert stats["contact_shapes"] >= 26 * 3        # every terminal contacted
+        assert stats["poly_shapes"] >= 26 * 2           # gate + gate pad each
+        assert stats["via_shapes"] >= 26 * 3 * 2        # redundant via pairs
+        assert vco_layout.area() > 10_000               # a real block, not a dot
+
+    def test_vco_layout_requires_mosfets(self):
+        from repro.spice import Circuit, Resistor
+
+        circuit = Circuit("rc only")
+        circuit.add(Resistor("R1", "a", "0", 1e3))
+        with pytest.raises(LayoutError):
+            generate_layout(circuit)
+
+    def test_rails_drawn_for_supply_nets(self, vco_layout):
+        purposes = {s.purpose for s in vco_layout.shapes_on(METAL1)}
+        assert "net1:rail" in purposes
+        assert "net0:rail" in purposes
+
+    def test_capacitor_plates_drawn(self, vco_layout):
+        purposes = {s.purpose for s in vco_layout.shapes}
+        assert "C1:top_plate" in purposes
+        assert "C1:bottom_plate" in purposes

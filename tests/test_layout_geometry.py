@@ -1,0 +1,153 @@
+"""Tests for the Manhattan geometry engine."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Rect, bounding_box, group_connected, merged_area, subtract_many
+
+
+class TestRectBasics:
+    def test_properties(self):
+        rect = Rect(0, 0, 4, 2)
+        assert rect.width == 4
+        assert rect.height == 2
+        assert rect.area == 8
+        assert rect.center == (2, 1)
+        assert rect.min_dimension == 2
+        assert rect.max_dimension == 4
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect(2, 0, 1, 1)
+
+    def test_contains_point(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.contains_point(1, 1)
+        assert rect.contains_point(2, 2)  # boundary included
+        assert not rect.contains_point(3, 1)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains(Rect(2, 2, 5, 5))
+        assert not Rect(0, 0, 10, 10).contains(Rect(8, 8, 12, 12))
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_expanded_and_shrunk(self):
+        assert Rect(1, 1, 3, 3).expanded(1) == Rect(0, 0, 4, 4)
+        assert Rect(0, 0, 4, 4).expanded(-1) == Rect(1, 1, 3, 3)
+        with pytest.raises(LayoutError):
+            Rect(0, 0, 1, 1).expanded(-1)
+
+
+class TestOverlap:
+    def test_overlaps_strict(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 3, 3))
+        assert not Rect(0, 0, 2, 2).overlaps(Rect(2, 0, 4, 2))  # edge only
+
+    def test_touches_includes_edges(self):
+        assert Rect(0, 0, 2, 2).touches(Rect(2, 0, 4, 2))
+        assert not Rect(0, 0, 2, 2).touches(Rect(2.1, 0, 4, 2))
+
+    def test_intersection(self):
+        clip = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert clip == Rect(2, 2, 4, 4)
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+
+class TestSubtraction:
+    def test_no_overlap_returns_original(self):
+        rect = Rect(0, 0, 2, 2)
+        assert rect.subtract(Rect(5, 5, 6, 6)) == [rect]
+
+    def test_full_cover_returns_empty(self):
+        assert Rect(1, 1, 2, 2).subtract(Rect(0, 0, 3, 3)) == []
+
+    def test_center_hole_produces_four_pieces(self):
+        pieces = Rect(0, 0, 10, 10).subtract(Rect(4, 4, 6, 6))
+        assert len(pieces) == 4
+        assert sum(p.area for p in pieces) == pytest.approx(100 - 4)
+
+    def test_gate_split_produces_two_pieces(self):
+        """A poly gate crossing a diffusion strip leaves two islands."""
+        diffusion = Rect(0, 0, 20, 5)
+        gate = Rect(9, -2, 11, 7)
+        pieces = diffusion.subtract(gate)
+        assert len(pieces) == 2
+        assert sum(p.area for p in pieces) == pytest.approx(20 * 5 - 2 * 5)
+
+    def test_subtract_many(self):
+        pieces = subtract_many(Rect(0, 0, 10, 2), [Rect(2, -1, 3, 3), Rect(6, -1, 7, 3)])
+        assert len(pieces) == 3
+        assert sum(p.area for p in pieces) == pytest.approx(20 - 2 - 2)
+
+    def test_area_conservation(self):
+        base = Rect(0, 0, 10, 10)
+        cutter = Rect(3, 3, 12, 6)
+        pieces = base.subtract(cutter)
+        clipped = base.intersection(cutter)
+        assert sum(p.area for p in pieces) + clipped.area == pytest.approx(base.area)
+
+
+class TestDistances:
+    def test_gap_x_y(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 0, 7, 2)
+        assert a.gap_x(b) == 3
+        assert a.gap_y(b) == 0
+
+    def test_spacing_diagonal(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(4, 5, 6, 7)
+        assert a.spacing(b) == pytest.approx((3 ** 2 + 4 ** 2) ** 0.5)
+
+    def test_facing_parallel_wires(self):
+        a = Rect(0, 0, 100, 3)
+        b = Rect(10, 6, 80, 9)
+        spacing, facing = a.facing(b)
+        assert spacing == pytest.approx(3.0)
+        assert facing == pytest.approx(70.0)
+
+    def test_facing_overlapping(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 15, 15)
+        spacing, facing = a.facing(b)
+        assert spacing == 0.0
+        assert facing > 0.0
+
+    def test_facing_diagonal_zero_length(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(3, 3, 4, 4)
+        spacing, facing = a.facing(b)
+        assert facing == 0.0
+        assert spacing > 0.0
+
+    def test_overlap_lengths(self):
+        a = Rect(0, 0, 10, 3)
+        b = Rect(4, 10, 8, 12)
+        assert a.overlap_length_x(b) == 4
+        assert a.overlap_length_y(b) == 0
+
+
+class TestCollections:
+    def test_bounding_box(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(5, 5, 6, 7)])
+        assert box == Rect(0, 0, 6, 7)
+        assert bounding_box([]) is None
+
+    def test_merged_area_disjoint(self):
+        assert merged_area([Rect(0, 0, 1, 1), Rect(2, 2, 3, 3)]) == pytest.approx(2.0)
+
+    def test_merged_area_overlapping(self):
+        assert merged_area([Rect(0, 0, 2, 2), Rect(1, 0, 3, 2)]) == pytest.approx(6.0)
+
+    def test_merged_area_contained(self):
+        assert merged_area([Rect(0, 0, 4, 4), Rect(1, 1, 2, 2)]) == pytest.approx(16.0)
+
+    def test_group_connected(self):
+        rects = [Rect(0, 0, 1, 1), Rect(1, 0, 2, 1), Rect(5, 5, 6, 6)]
+        groups = group_connected(rects)
+        assert sorted(len(g) for g in groups) == [1, 2]

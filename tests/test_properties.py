@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.defects import (
+    DefectSizeDistribution,
+    bridge_critical_area,
+    contact_open_critical_area,
+    open_critical_area,
+)
+from repro.layout import Rect, merged_area
+from repro.lift import BridgingFault, FaultList, OpenFault, StuckOpenFault
+from repro.spice import Circuit, OperatingPointAnalysis, Resistor, VoltageSource, Waveform
+from repro.units import format_value, parse_value
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite_values = st.floats(min_value=1e-15, max_value=1e12,
+                          allow_nan=False, allow_infinity=False)
+
+coordinates = st.floats(min_value=-1000.0, max_value=1000.0,
+                        allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw):
+    x1 = draw(coordinates)
+    y1 = draw(coordinates)
+    width = draw(st.floats(min_value=0.01, max_value=500.0))
+    height = draw(st.floats(min_value=0.01, max_value=500.0))
+    return Rect(x1, y1, x1 + width, y1 + height)
+
+
+net_names = st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=4)
+
+
+@st.composite
+def bridge_faults(draw):
+    net_a = draw(net_names)
+    net_b = draw(net_names)
+    assume(net_a != net_b)
+    return BridgingFault(draw(st.integers(1, 10_000)),
+                         probability=draw(st.floats(0, 1e-5)),
+                         origin_layer=draw(st.sampled_from(["metal1", "poly", ""])),
+                         net_a=net_a, net_b=net_b,
+                         scope=draw(st.sampled_from(["local", "global"])))
+
+
+@st.composite
+def open_faults(draw):
+    kind = draw(st.sampled_from([OpenFault, StuckOpenFault]))
+    return kind(draw(st.integers(1, 10_000)),
+                probability=draw(st.floats(0, 1e-5)),
+                device=f"M{draw(st.integers(1, 26))}",
+                terminal=draw(st.sampled_from(["drain", "gate", "source"])))
+
+
+# ---------------------------------------------------------------------------
+# Units
+# ---------------------------------------------------------------------------
+
+class TestUnitProperties:
+    @given(finite_values)
+    def test_format_parse_roundtrip(self, value):
+        assert parse_value(format_value(value, digits=9)) == pytest.approx(value, rel=1e-6)
+
+    @given(finite_values, st.sampled_from(["k", "meg", "u", "n", "p"]))
+    def test_suffix_scaling(self, value, suffix):
+        assume(value < 1e6)
+        scale = {"k": 1e3, "meg": 1e6, "u": 1e-6, "n": 1e-9, "p": 1e-12}[suffix]
+        assert parse_value(f"{value}{suffix}") == pytest.approx(value * scale, rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        clip = a.intersection(b)
+        if clip is not None:
+            assert a.contains(clip)
+            assert b.contains(clip)
+            assert clip.area <= min(a.area, b.area) + 1e-9
+
+    @given(rects(), rects())
+    def test_intersection_symmetric(self, a, b):
+        assert (a.intersection(b) is None) == (b.intersection(a) is None)
+
+    @given(rects(), rects())
+    def test_subtract_conserves_area(self, a, b):
+        pieces = a.subtract(b)
+        clip = a.intersection(b)
+        clipped_area = clip.area if clip else 0.0
+        assert sum(p.area for p in pieces) + clipped_area == pytest.approx(a.area, rel=1e-6)
+
+    @given(rects(), rects())
+    def test_subtract_pieces_do_not_overlap_cutter(self, a, b):
+        for piece in a.subtract(b):
+            clip = piece.intersection(b)
+            assert clip is None or clip.area < 1e-6
+
+    @given(rects(), rects())
+    def test_facing_symmetric(self, a, b):
+        sa, fa = a.facing(b)
+        sb, fb = b.facing(a)
+        assert sa == pytest.approx(sb, rel=1e-9, abs=1e-9)
+        assert fa == pytest.approx(fb, rel=1e-9, abs=1e-9)
+
+    @given(rects())
+    def test_merged_area_single(self, a):
+        assert merged_area([a]) == pytest.approx(a.area, rel=1e-6)
+
+    @given(rects(), rects())
+    def test_merged_area_bounds(self, a, b):
+        union = merged_area([a, b])
+        assert union <= a.area + b.area + 1e-6
+        assert union >= max(a.area, b.area) - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Critical areas
+# ---------------------------------------------------------------------------
+
+class TestCriticalAreaProperties:
+    @given(st.floats(0.1, 30.0), st.floats(0.5, 10.0), st.floats(0.0, 500.0))
+    def test_bridge_area_nonnegative_and_monotone_in_size(self, x, spacing, facing):
+        small = float(bridge_critical_area(x, spacing, facing))
+        larger = float(bridge_critical_area(x + 1.0, spacing, facing))
+        assert small >= 0.0
+        assert larger >= small
+
+    @given(st.floats(0.1, 30.0), st.floats(0.5, 10.0), st.floats(0.1, 500.0))
+    def test_open_area_decreases_with_width(self, x, width, length):
+        narrow = float(open_critical_area(x, width, length))
+        wide = float(open_critical_area(x, width + 2.0, length))
+        assert wide <= narrow + 1e-12
+
+    @given(st.floats(0.5, 10.0), st.floats(2.0, 19.0))
+    def test_expectation_bounded_by_max_value(self, spacing, peak):
+        dist = DefectSizeDistribution(peak_size=peak, max_size=20.0)
+        weighted = dist.expectation(lambda x: bridge_critical_area(x, spacing, 10.0),
+                                    lower=spacing)
+        max_area = float(bridge_critical_area(dist.max_size, spacing, 10.0))
+        assert 0.0 <= weighted <= max_area
+
+
+# ---------------------------------------------------------------------------
+# Fault list serialisation
+# ---------------------------------------------------------------------------
+
+class TestFaultListProperties:
+    @given(st.lists(st.one_of(bridge_faults(), open_faults()), min_size=1,
+                    max_size=20))
+    @settings(max_examples=50)
+    def test_serialisation_roundtrip(self, faults):
+        original = FaultList("prop")
+        original.extend(faults)
+        restored = FaultList.loads(original.dumps())
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.signature() == b.signature()
+            assert b.probability == pytest.approx(a.probability, rel=1e-5, abs=1e-12)
+
+    @given(st.lists(bridge_faults(), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_merge_preserves_total_probability(self, faults):
+        original = FaultList("prop")
+        original.extend(faults)
+        merged = original.merge_equivalent()
+        assert merged.total_probability() == pytest.approx(
+            original.total_probability(), rel=1e-9)
+        assert len(merged) <= len(original)
+
+    @given(st.lists(bridge_faults(), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_top_n_returns_most_probable(self, faults):
+        fault_list = FaultList("prop")
+        fault_list.extend(faults)
+        top = fault_list.top(3)
+        threshold = min(f.probability for f in top)
+        dropped = [f for f in fault_list.sorted_by_probability()[len(top):]]
+        assert all(f.probability <= threshold + 1e-30 for f in dropped)
+
+
+# ---------------------------------------------------------------------------
+# Waveforms
+# ---------------------------------------------------------------------------
+
+class TestWaveformProperties:
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=50))
+    def test_minmax_bounds_mean(self, values):
+        wave = Waveform(np.arange(len(values), dtype=float), np.array(values))
+        assert wave.minimum() - 1e-9 <= wave.mean() <= wave.maximum() + 1e-9
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=50),
+           st.floats(-50, 50, allow_nan=False))
+    def test_value_at_within_range(self, values, x):
+        wave = Waveform(np.arange(len(values), dtype=float), np.array(values))
+        assert wave.minimum() - 1e-9 <= wave.value_at(x) <= wave.maximum() + 1e-9
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=50))
+    def test_self_difference_is_zero(self, values):
+        wave = Waveform(np.arange(len(values), dtype=float), np.array(values))
+        assert wave.max_abs_error(wave) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# MNA solver sanity on random resistive ladders
+# ---------------------------------------------------------------------------
+
+class TestSolverProperties:
+    @given(st.lists(st.floats(10.0, 1e6), min_size=2, max_size=10),
+           st.floats(0.1, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_resistive_ladder_voltages_bounded_and_monotone(self, resistors, vin):
+        """In a resistor ladder to ground, node voltages must decrease
+        monotonically from the source and stay within [0, vin]."""
+        circuit = Circuit("ladder")
+        circuit.add(VoltageSource("V1", "n0", "0", vin))
+        for index, resistance in enumerate(resistors):
+            circuit.add(Resistor(f"R{index}", f"n{index}", f"n{index + 1}", resistance))
+        circuit.add(Resistor("Rload", f"n{len(resistors)}", "0", 1e3))
+        op = OperatingPointAnalysis(circuit).run()
+        voltages = [op[f"n{i}"] for i in range(len(resistors) + 1)]
+        assert voltages[0] == pytest.approx(vin, rel=1e-6)
+        for a, b in zip(voltages, voltages[1:]):
+            assert b <= a + 1e-9
+            assert -1e-9 <= b <= vin + 1e-9

@@ -1,0 +1,229 @@
+"""Tests for the passive devices, sources and controlled sources."""
+
+import math
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    CurrentControlledCurrentSource,
+    CurrentControlledVoltageSource,
+    CurrentSource,
+    Inductor,
+    OperatingPointAnalysis,
+    Resistor,
+    TransientAnalysis,
+    VoltageControlledCurrentSource,
+    VoltageControlledVoltageSource,
+    VoltageSource,
+)
+from repro.spice.devices import (
+    DCShape,
+    ExpShape,
+    PulseShape,
+    PWLShape,
+    SinShape,
+)
+
+
+class TestResistor:
+    def test_value_parsing(self):
+        assert Resistor("R1", "a", "b", "4.7k").resistance == pytest.approx(4700.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetlistError):
+            Resistor("R1", "a", "b", -5)
+
+    def test_conductance_clamped_for_zero(self):
+        resistor = Resistor("R1", "a", "b", 0.0)
+        assert resistor.conductance > 0.0
+        assert math.isfinite(resistor.conductance)
+
+    def test_divider(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 10.0))
+        circuit.add(Resistor("R1", "in", "out", "1k"))
+        circuit.add(Resistor("R2", "out", "0", "3k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(7.5, rel=1e-6)
+
+    def test_current_through_source(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 10.0))
+        circuit.add(Resistor("R1", "in", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        # Branch current of the source equals -10mA (current flows out of +).
+        assert abs(op.branch_current("V1")) == pytest.approx(10e-3, rel=1e-6)
+
+
+class TestCapacitorInductor:
+    def test_capacitor_open_at_dc(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 5.0))
+        circuit.add(Resistor("R1", "in", "out", "1k"))
+        circuit.add(Capacitor("C1", "out", "0", "1u"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(5.0, rel=1e-3)
+
+    def test_inductor_short_at_dc(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 5.0))
+        circuit.add(Resistor("R1", "in", "out", "1k"))
+        circuit.add(Inductor("L1", "out", "0", "1m"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(0.0, abs=1e-6)
+        assert op.branch_current("L1") == pytest.approx(5e-3, rel=1e-3)
+
+    def test_rc_step_response_time_constant(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0",
+                                  PulseShape(0, 1, 0, 1e-9, 1e-9, 1, 2)))
+        circuit.add(Resistor("R1", "in", "out", "1k"))
+        circuit.add(Capacitor("C1", "out", "0", "1u"))
+        result = TransientAnalysis(circuit, tstop=5e-3, tstep=20e-6,
+                                   use_ic=True).run()
+        wave = result["out"]
+        assert wave.value_at(1e-3) == pytest.approx(1 - math.exp(-1), abs=0.01)
+        assert wave.value_at(3e-3) == pytest.approx(1 - math.exp(-3), abs=0.01)
+        assert wave.final_value() == pytest.approx(1.0, abs=0.01)
+
+    def test_capacitor_initial_condition(self):
+        circuit = Circuit()
+        circuit.add(Resistor("R1", "out", "0", "1k"))
+        circuit.add(Capacitor("C1", "out", "0", "1u", ic=5.0))
+        result = TransientAnalysis(circuit, tstop=2e-3, tstep=20e-6,
+                                   use_ic=True).run()
+        wave = result["out"]
+        assert wave.y[0] == pytest.approx(5.0, abs=0.2)
+        assert wave.value_at(1e-3) == pytest.approx(5 * math.exp(-1), abs=0.15)
+
+    def test_rl_current_rise(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0",
+                                  PulseShape(0, 1, 0, 1e-9, 1e-9, 1, 2)))
+        circuit.add(Resistor("R1", "in", "out", 100))
+        circuit.add(Inductor("L1", "out", "0", "10m"))
+        result = TransientAnalysis(circuit, tstop=5e-4, tstep=2e-6,
+                                   use_ic=True).run()
+        current = result.current("L1")
+        tau = 10e-3 / 100
+        assert current.value_at(tau) == pytest.approx(
+            (1 / 100) * (1 - math.exp(-1)), rel=0.05)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(NetlistError):
+            Capacitor("C1", "a", "b", -1e-9)
+        with pytest.raises(NetlistError):
+            Inductor("L1", "a", "b", -1e-3)
+
+
+class TestSourceShapes:
+    def test_dc_shape(self):
+        assert DCShape("5").value(123.0) == 5.0
+
+    def test_pulse_levels(self):
+        pulse = PulseShape(0, 5, delay=1e-6, rise=1e-7, fall=1e-7, width=1e-6,
+                           period=4e-6)
+        assert pulse.value(0.0) == 0.0
+        assert pulse.value(1.2e-6) == pytest.approx(5.0)
+        assert pulse.value(2.3e-6) == pytest.approx(0.0)
+        # Periodic repetition.
+        assert pulse.value(5.2e-6) == pytest.approx(5.0)
+
+    def test_pulse_rise_interpolation(self):
+        pulse = PulseShape(0, 1, delay=0, rise=1e-6, fall=1e-6, width=1e-6,
+                           period=10e-6)
+        assert pulse.value(0.5e-6) == pytest.approx(0.5)
+
+    def test_sin_shape(self):
+        sin = SinShape(1.0, 2.0, 1e6)
+        assert sin.value(0.0) == pytest.approx(1.0)
+        assert sin.value(0.25e-6) == pytest.approx(3.0, rel=1e-3)
+        assert sin.dc_value() == 1.0
+
+    def test_sin_delay(self):
+        sin = SinShape(0.0, 1.0, 1e6, delay=1e-6)
+        assert sin.value(0.5e-6) == 0.0
+
+    def test_pwl_shape(self):
+        pwl = PWLShape([(0, 0), (1e-6, 1), (2e-6, 1), (3e-6, 0)])
+        assert pwl.value(0.5e-6) == pytest.approx(0.5)
+        assert pwl.value(1.5e-6) == pytest.approx(1.0)
+        assert pwl.value(10e-6) == pytest.approx(0.0)
+
+    def test_pwl_non_monotonic_rejected(self):
+        with pytest.raises(NetlistError):
+            PWLShape([(1e-6, 1), (0.5e-6, 0)])
+
+    def test_exp_shape_limits(self):
+        exp = ExpShape(0, 1, delay1=0, tau1=1e-6, delay2=1e-3, tau2=1e-6)
+        assert exp.value(0.0) == pytest.approx(0.0)
+        assert exp.value(10e-6) == pytest.approx(1.0, abs=1e-3)
+
+    def test_spice_text_roundtrip_via_value(self):
+        pulse = PulseShape(0, 5, 1e-6, 1e-8, 1e-8, 1e-6, 4e-6)
+        text = pulse.spice_text()
+        assert text.startswith("PULSE(")
+        assert "4e-06" in text or "4e-06" in text.lower()
+
+
+class TestCurrentSource:
+    def test_current_into_resistor(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("I1", "0", "out", 1e-3))
+        circuit.add(Resistor("R1", "out", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_direction_convention(self):
+        circuit = Circuit()
+        circuit.add(CurrentSource("I1", "out", "0", 1e-3))
+        circuit.add(Resistor("R1", "out", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(-1.0, rel=1e-6)
+
+
+class TestControlledSources:
+    def test_vcvs_gain(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 1.0))
+        circuit.add(VoltageControlledVoltageSource("E1", "out", "0", "in", "0", 10.0))
+        circuit.add(Resistor("RL", "out", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(10.0, rel=1e-6)
+
+    def test_vccs_transconductance(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 2.0))
+        circuit.add(VoltageControlledCurrentSource("G1", "0", "out", "in", "0", 1e-3))
+        circuit.add(Resistor("RL", "out", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["out"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_cccs_gain(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 1.0))
+        circuit.add(Resistor("R1", "in", "0", "1k"))     # 1 mA through V1
+        circuit.add(CurrentControlledCurrentSource("F1", "0", "out", "V1", 2.0))
+        circuit.add(Resistor("RL", "out", "0", "1k"))
+        circuit.device("F1").prepare(circuit)
+        op = OperatingPointAnalysis(circuit).run()
+        assert abs(op["out"]) == pytest.approx(2.0, rel=1e-6)
+
+    def test_ccvs_transresistance(self):
+        circuit = Circuit()
+        circuit.add(VoltageSource("V1", "in", "0", 1.0))
+        circuit.add(Resistor("R1", "in", "0", "1k"))
+        circuit.add(CurrentControlledVoltageSource("H1", "out", "0", "V1", 1e3))
+        circuit.add(Resistor("RL", "out", "0", "1k"))
+        op = OperatingPointAnalysis(circuit).run()
+        assert abs(op["out"]) == pytest.approx(1.0, rel=1e-6)
+
+    def test_missing_control_source_raises(self):
+        circuit = Circuit()
+        circuit.add(CurrentControlledCurrentSource("F1", "a", "0", "Vmissing", 1.0))
+        circuit.add(Resistor("RL", "a", "0", "1k"))
+        with pytest.raises(Exception):
+            OperatingPointAnalysis(circuit).run()
