@@ -24,9 +24,12 @@ from repro.anafault import (
 from repro.circuits import OUTPUT_NODE
 
 
-def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record):
+def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
+                             smoke, fault_budget):
     circuit, _layout = vco_pair
     faults = cat_extraction.realistic_faults
+    if fault_budget is not None:
+        faults = faults.top(fault_budget)
 
     settings = CampaignSettings(
         tstop=4e-6, tstep=1e-8, use_ic=True,
@@ -40,18 +43,19 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record):
     coverage = result.coverage()
     curve = coverage.waveform(points=101)
 
-    # Shape checks against Fig. 5:
-    #  * a substantial fraction of the faults is detected,
-    #  * the curve is monotone and saturates: whatever is detected at all is
-    #    detected in the first ~60 % of the test time (the paper's "all
-    #    faults detected after approximately 55 %").
     final = coverage.final_coverage()
-    assert final > 0.6
-    assert coverage.coverage_at(0.6 * settings.tstop) >= 0.9 * final
-    # Most detections happen early (steep initial rise after the oscillator
-    # start-up, cf. "after 25 % of test time the fault coverage almost
-    # reaches 100 %").
-    assert coverage.coverage_at(0.45 * settings.tstop) >= 0.7 * final
+    if not smoke:
+        # Shape checks against Fig. 5 (need the full fault list):
+        #  * a substantial fraction of the faults is detected,
+        #  * the curve is monotone and saturates: whatever is detected at all
+        #    is detected in the first ~60 % of the test time (the paper's
+        #    "all faults detected after approximately 55 %").
+        assert final > 0.6
+        assert coverage.coverage_at(0.6 * settings.tstop) >= 0.9 * final
+        # Most detections happen early (steep initial rise after the
+        # oscillator start-up, cf. "after 25 % of test time the fault
+        # coverage almost reaches 100 %").
+        assert coverage.coverage_at(0.45 * settings.tstop) >= 0.7 * final
 
     lines = [
         "Fig. 5  fault coverage vs time (2 V amplitude, 0.2 us time tolerance)",

@@ -28,20 +28,24 @@ from repro.spice.waveform import ascii_plot
 #: Drain of the Schmitt-trigger input PMOS M11 (node 10) bridged to ground.
 FAULT_LOCATION = ("10", "0")
 RESISTOR_VALUES = (1e6, 100e3, 10e3, 1e3, 41.0, 21.0, 1.0)
+#: Reduced sweep for BENCH_SMOKE runs (keeps the endpoints the assertions
+#: reference plus the values the plot selects).
+SMOKE_RESISTOR_VALUES = (1e6, 100e3, 10e3, 1.0)
 
 
 def _run(circuit):
     return TransientAnalysis(circuit, **nominal_transient_settings()).run()[OUTPUT_NODE]
 
 
-def test_fig6_resistor_sweep(benchmark, vco_pair, record):
+def test_fig6_resistor_sweep(benchmark, vco_pair, record, smoke):
     circuit, _layout = vco_pair
     comparator = WaveformComparator(ToleranceSettings(2.0, 0.2e-6))
+    resistor_values = SMOKE_RESISTOR_VALUES if smoke else RESISTOR_VALUES
 
     def sweep():
         nominal = _run(circuit)
         rows = []
-        for resistance in RESISTOR_VALUES:
+        for resistance in resistor_values:
             fault = BridgingFault(6, net_a=FAULT_LOCATION[0],
                                   net_b=FAULT_LOCATION[1],
                                   origin_layer="metal1")

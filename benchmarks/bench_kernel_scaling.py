@@ -1,0 +1,100 @@
+"""Kernel scaling -- cost of the transient hot path versus circuit size.
+
+Not a figure of the paper: this benchmark instruments the fast-path MNA
+kernel that every AnaFAULT campaign leans on.  It times
+
+* fully linear RC ladders of growing size, which take the linear bypass
+  (one cached LU factorisation per distinct step size, no Newton
+  iteration), and
+* the paper's 26-transistor VCO, which exercises the Newton path with the
+  precomputed constant base and the vectorized companion-capacitor bank,
+
+and reports the per-solve cost for each matrix size.  The assertions pin
+the kernel invariants the speed rests on: linear circuits must take the
+bypass (exactly one linear solve per accepted step), nonlinear circuits
+must not, and the bypass must still produce physically sane waveforms.
+"""
+
+import time
+
+import numpy as np
+
+from repro.circuits import build_vco, nominal_transient_settings
+from repro.spice import Capacitor, Circuit, Resistor, TransientAnalysis, VoltageSource
+from repro.spice.devices import PulseShape
+
+#: RC ladder sizes (number of RC sections) for the linear-bypass sweep.
+LADDER_SECTIONS = (4, 16, 64)
+SMOKE_LADDER_SECTIONS = (4, 16)
+
+
+def build_rc_ladder(sections: int) -> Circuit:
+    """A step-driven RC ladder with ``sections`` series R / shunt C stages."""
+    circuit = Circuit(f"RC ladder ({sections} sections)")
+    circuit.add(VoltageSource("VIN", "in", "0",
+                              PulseShape(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0)))
+    previous = "in"
+    for k in range(1, sections + 1):
+        node = f"n{k}"
+        circuit.add(Resistor(f"R{k}", previous, node, 1e3))
+        circuit.add(Capacitor(f"C{k}", node, "0", 1e-9))
+        previous = node
+    return circuit
+
+
+def test_kernel_scaling(benchmark, record, smoke):
+    sections = SMOKE_LADDER_SECTIONS if smoke else LADDER_SECTIONS
+
+    def run_all():
+        rows = []
+        for count in sections:
+            circuit = build_rc_ladder(count)
+            analysis = TransientAnalysis(circuit, tstop=5e-6, tstep=5e-8)
+            start = time.perf_counter()
+            result = analysis.run()
+            elapsed = time.perf_counter() - start
+            rows.append(("ladder", count, len(circuit), elapsed, result))
+        vco = build_vco()
+        analysis = TransientAnalysis(vco, **nominal_transient_settings())
+        start = time.perf_counter()
+        result = analysis.run()
+        elapsed = time.perf_counter() - start
+        rows.append(("vco", 26, len(vco), elapsed, result))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for kind, _count, _size, _elapsed, result in rows:
+        stats = result.stats
+        if kind == "ladder":
+            # Linear circuits must take the bypass: exactly one linear solve
+            # per accepted internal step and no Newton iteration at all.
+            assert stats["linear_bypass"]
+            assert stats["newton_iterations"] == stats["accepted_steps"]
+            wave = result["n1"]
+            assert -0.01 <= wave.minimum() and wave.maximum() <= 1.01
+            assert wave.y[-1] > 0.5  # the first section charges towards 1 V
+        else:
+            assert not stats["linear_bypass"]
+            assert stats["newton_iterations"] > stats["accepted_steps"]
+
+    lines = [
+        "Kernel scaling  transient hot-path cost vs circuit size",
+        "",
+        f"{'circuit':<22}{'devices':>8}{'solves':>8}{'steps':>7}"
+        f"{'bypass':>8}{'time [ms]':>11}{'us/solve':>10}",
+        "-" * 74,
+    ]
+    for kind, count, size, elapsed, result in rows:
+        stats = result.stats
+        label = f"RC ladder x{count}" if kind == "ladder" else "VCO (26 MOS)"
+        solves = stats["newton_iterations"]
+        lines.append(
+            f"{label:<22}{size:>8}{solves:>8}{stats['accepted_steps']:>7}"
+            f"{str(stats['linear_bypass']):>8}{elapsed * 1e3:>11.1f}"
+            f"{elapsed / max(solves, 1) * 1e6:>10.1f}")
+    lines += [
+        "-" * 74,
+        "linear circuits bypass Newton entirely: one cached-LU solve per step",
+    ]
+    record("kernel_scaling.txt", "\n".join(lines) + "\n")

@@ -19,9 +19,12 @@ from repro.circuits import OUTPUT_NODE
 FAULT_COUNT = 25
 
 
-def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record):
+def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record,
+                               fault_budget):
     circuit, _layout = vco_pair
-    faults = cat_extraction.realistic_faults.top(FAULT_COUNT)
+    fault_count = (FAULT_COUNT if fault_budget is None
+                   else min(FAULT_COUNT, fault_budget))
+    faults = cat_extraction.realistic_faults.top(fault_count)
 
     def run_both():
         results = {}
@@ -44,9 +47,11 @@ def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record):
 
     # "Nearly identical fault coverage plots": the two detected sets may
     # differ in at most a couple of marginal faults.
+    # Both models share the fault count, so bounding the detected-set
+    # difference also bounds the coverage gap (a fixed absolute coverage
+    # tolerance would not scale down to tiny BENCH_SMOKE lists).
     symmetric_difference = detected_resistor ^ detected_source
-    assert len(symmetric_difference) <= max(2, FAULT_COUNT // 10)
-    assert abs(resistor.fault_coverage() - source.fault_coverage()) <= 0.1
+    assert len(symmetric_difference) <= max(2, fault_count // 10)
 
     cpu_resistor = sum(r.elapsed_seconds for r in resistor.records)
     cpu_source = sum(r.elapsed_seconds for r in source.records)
@@ -54,7 +59,7 @@ def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record):
 
     lines = [
         "Section VI  resistor model vs source model "
-        f"({FAULT_COUNT} most likely LIFT faults)",
+        f"({fault_count} most likely LIFT faults)",
         "",
         f"{'':<26}{'resistor model':>16}{'source model':>16}",
         "-" * 60,

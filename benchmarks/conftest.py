@@ -4,10 +4,20 @@ Each benchmark regenerates one table or figure of the paper's evaluation
 (section VI).  Expensive artefacts are shared across benchmarks through
 session fixtures, and every benchmark writes the regenerated table/plot to
 ``benchmarks/results/`` so the reproduction can be inspected after the run.
+
+Smoke mode
+----------
+Setting ``BENCH_SMOKE=1`` in the environment shrinks the fault counts of the
+campaign benchmarks so that CI can execute every ``bench_*`` file quickly.
+Benchmarks read the :func:`smoke` and :func:`fault_budget` fixtures; in
+smoke mode the figure-level assertions that need the full fault list are
+relaxed (the run still exercises the whole pipeline and writes the results
+artefacts).
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -16,6 +26,26 @@ from repro.cat import CATFlow
 from repro.circuits import build_vco_layout
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: True when the harness runs in CI smoke mode (``BENCH_SMOKE=1``).
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+#: Faults simulated per campaign benchmark in smoke mode.
+SMOKE_FAULT_BUDGET = 6
+
+
+@pytest.fixture(scope="session")
+def smoke() -> bool:
+    """Whether the run is a CI smoke run (shrunk workloads, relaxed
+    figure assertions)."""
+    return BENCH_SMOKE
+
+
+@pytest.fixture(scope="session")
+def fault_budget() -> int | None:
+    """Maximum number of faults a campaign benchmark may simulate
+    (``None`` = unlimited)."""
+    return SMOKE_FAULT_BUDGET if BENCH_SMOKE else None
 
 
 @pytest.fixture(scope="session")

@@ -67,6 +67,9 @@ class FaultSimulationRecord:
     max_deviation: float = 0.0
     elapsed_seconds: float = 0.0
     message: str = ""
+    #: Linear solves spent by the transient kernel on this fault (workload
+    #: telemetry; 0 when the simulation failed before completing).
+    newton_iterations: int = 0
 
     @property
     def detected(self) -> bool:
@@ -83,16 +86,56 @@ class CampaignResult:
     nominal: dict[str, Waveform] = field(default_factory=dict)
     nominal_elapsed_seconds: float = 0.0
     total_elapsed_seconds: float = 0.0
+    #: Kernel statistics of the nominal run (see ``TransientResult.stats``).
+    nominal_stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._fault_index: dict[int, FaultSimulationRecord] = {}
+        self._indexed_records = 0
 
     # ------------------------------------------------------------------
     def record_for(self, fault_id: int) -> FaultSimulationRecord:
-        for record in self.records:
-            if record.fault.fault_id == fault_id:
-                return record
-        raise CampaignError(f"no record for fault id {fault_id}")
+        """Record of one fault id, backed by a lazily built index (the
+        previous linear scan made loops over ids quadratic)."""
+        if self._indexed_records != len(self.records):
+            index: dict[int, FaultSimulationRecord] = {}
+            for record in self.records:
+                # Keep the first record per id, matching the old scan order.
+                index.setdefault(record.fault.fault_id, record)
+            self._fault_index = index
+            self._indexed_records = len(self.records)
+        try:
+            return self._fault_index[fault_id]
+        except KeyError:
+            raise CampaignError(f"no record for fault id {fault_id}") from None
 
     def detected_ids(self) -> set[int]:
         return {r.fault.fault_id for r in self.records if r.detected}
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def total_newton_iterations(self) -> int:
+        """Linear solves spent across all fault simulations plus nominal."""
+        total = sum(r.newton_iterations for r in self.records)
+        return total + int(self.nominal_stats.get("newton_iterations", 0))
+
+    def telemetry(self) -> dict:
+        """Per-campaign workload summary built from the per-record data."""
+        elapsed = [r.elapsed_seconds for r in self.records]
+        iterations = [r.newton_iterations for r in self.records]
+        count = len(self.records)
+        return {
+            "faults": count,
+            "nominal_elapsed_seconds": self.nominal_elapsed_seconds,
+            "total_elapsed_seconds": self.total_elapsed_seconds,
+            "fault_seconds_total": sum(elapsed),
+            "fault_seconds_mean": sum(elapsed) / count if count else 0.0,
+            "fault_seconds_max": max(elapsed, default=0.0),
+            "newton_iterations_total": self.total_newton_iterations(),
+            "newton_iterations_mean": (sum(iterations) / count) if count else 0.0,
+            "newton_iterations_max": max(iterations, default=0),
+        }
 
     def count_by_status(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -118,18 +161,30 @@ class CampaignResult:
 class FaultSimulator:
     """Run a fault simulation campaign for one circuit and fault list."""
 
-    def __init__(self, circuit: Circuit, fault_list: FaultList,
+    def __init__(self, circuit: Circuit, fault_list: FaultList | None,
                  settings: CampaignSettings | None = None):
-        if not len(fault_list):
+        if fault_list is None:
+            # Worker mode (see for_worker): simulate_fault only, no campaign.
+            fault_list = FaultList("worker", [])
+        elif not len(fault_list):
             raise CampaignError("the fault list is empty")
         self.circuit = circuit
         self.fault_list = fault_list
         self.settings = settings or CampaignSettings()
         self.injector = FaultInjector(circuit, self.settings.fault_model)
         self._comparator = WaveformComparator(self.settings.tolerances)
+        self._nominal_elapsed = 0.0
+        self._nominal_stats: dict = {}
+
+    @classmethod
+    def for_worker(cls, circuit: Circuit,
+                   settings: CampaignSettings | None = None) -> "FaultSimulator":
+        """Build a simulator for per-fault work without a campaign fault
+        list (process-pool workers, ad-hoc :meth:`simulate_fault` calls)."""
+        return cls(circuit, None, settings)
 
     # ------------------------------------------------------------------
-    def _run_transient(self, circuit: Circuit) -> dict[str, Waveform]:
+    def _run_transient(self, circuit: Circuit) -> tuple[dict[str, Waveform], dict]:
         settings = self.settings
         analysis = TransientAnalysis(
             circuit, tstop=settings.tstop, tstep=settings.tstep,
@@ -139,12 +194,12 @@ class FaultSimulator:
         waveforms = {}
         for node in settings.observation_nodes:
             waveforms[node] = result.waveform(node)
-        return waveforms
+        return waveforms, result.stats
 
     def run_nominal(self) -> dict[str, Waveform]:
         """Run (and cache) the fault-free simulation."""
         start = _time.perf_counter()
-        nominal = self._run_transient(self.circuit)
+        nominal, self._nominal_stats = self._run_transient(self.circuit)
         self._nominal_elapsed = _time.perf_counter() - start
         return nominal
 
@@ -159,7 +214,7 @@ class FaultSimulator:
                 fault, STATUS_INJECTION_FAILED, message=str(exc),
                 elapsed_seconds=_time.perf_counter() - start)
         try:
-            faulty = self._run_transient(faulty_circuit)
+            faulty, stats = self._run_transient(faulty_circuit)
         except (ConvergenceError, SingularMatrixError) as exc:
             status = (STATUS_DETECTED if self.settings.count_failed_as_detected
                       else STATUS_SIM_FAILED)
@@ -167,16 +222,18 @@ class FaultSimulator:
             return FaultSimulationRecord(
                 fault, status, detection_time=detection, message=str(exc),
                 elapsed_seconds=_time.perf_counter() - start)
+        iterations = int(stats.get("newton_iterations", 0))
         comparison: DetectionResult = self._comparator.compare_many(nominal, faulty)
         elapsed = _time.perf_counter() - start
         if comparison.detected:
             return FaultSimulationRecord(
                 fault, STATUS_DETECTED, detection_time=comparison.detection_time,
                 detected_on=comparison.signal,
-                max_deviation=comparison.max_deviation, elapsed_seconds=elapsed)
+                max_deviation=comparison.max_deviation, elapsed_seconds=elapsed,
+                newton_iterations=iterations)
         return FaultSimulationRecord(
             fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
-            elapsed_seconds=elapsed)
+            elapsed_seconds=elapsed, newton_iterations=iterations)
 
     # ------------------------------------------------------------------
     def run(self, workers: int = 1,
@@ -187,12 +244,15 @@ class FaultSimulator:
         (section II mentions the workstation-cluster parallelisation of
         AnaFAULT; fault-level parallelism is embarrassingly parallel).
         """
+        if not len(self.fault_list):
+            raise CampaignError("the fault list is empty")
         start = _time.perf_counter()
         nominal = self.run_nominal()
         result = CampaignResult(settings=self.settings,
                                 fault_list=self.fault_list,
                                 nominal=nominal,
-                                nominal_elapsed_seconds=self._nominal_elapsed)
+                                nominal_elapsed_seconds=self._nominal_elapsed,
+                                nominal_stats=dict(self._nominal_stats))
         if workers <= 1:
             for index, fault in enumerate(self.fault_list, start=1):
                 record = self.simulate_fault(fault, nominal)

@@ -8,7 +8,48 @@ import numpy as np
 
 from ...errors import SingularMatrixError
 from ...units import DEFAULT_TEMPERATURE_C
+from ..devices.base import CompanionCapacitorBank, Device as _Device
 from ..netlist import Circuit
+
+try:  # pragma: no cover - exercised through make_lu_solver
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+except ImportError:  # pragma: no cover
+    _lu_factor = _lu_solve = None
+
+
+def make_lu_solver(matrix: np.ndarray):
+    """Factorise ``matrix`` once and return ``solve(rhs) -> x``.
+
+    Uses a cached LU decomposition when SciPy is available and falls back to
+    a plain dense solve otherwise.  The returned callable raises
+    :class:`SingularMatrixError` on singular or non-finite systems.
+    """
+    if _lu_factor is not None:
+        try:
+            lu = _lu_factor(matrix)
+        except (ValueError, np.linalg.LinAlgError) as exc:
+            raise SingularMatrixError(f"MNA matrix cannot be factorised: {exc}") from exc
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            solution = _lu_solve(lu, rhs)
+            if not np.all(np.isfinite(solution)):
+                raise SingularMatrixError("MNA solution contains NaN/Inf")
+            return solution
+
+        return solve
+
+    frozen = np.array(matrix, copy=True)
+
+    def solve(rhs: np.ndarray) -> np.ndarray:
+        try:
+            solution = np.linalg.solve(frozen, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SingularMatrixError("MNA solution contains NaN/Inf")
+        return solution
+
+    return solve
 
 
 @dataclass
@@ -66,12 +107,14 @@ class SimState:
         #: Set by nonlinear devices when voltage-step limiting was active in
         #: the last stamp; Newton refuses to declare convergence while set.
         self.limited = False
+        #: Iteration count of the most recent Newton solve (telemetry).
+        self.last_newton_iterations = 0
 
     def v(self, index: int) -> float:
         """Voltage of the matrix row ``index`` (ground rows return 0)."""
         if index < 0:
             return 0.0
-        return float(self.x[index].real) if np.iscomplexobj(self.x) else float(self.x[index])
+        return float(self.x[index].real)
 
 
 class MNASystem:
@@ -111,7 +154,20 @@ class MNASystem:
 
 
 class MNABuilder:
-    """Binds a circuit to matrix indices and assembles MNA systems."""
+    """Binds a circuit to matrix indices and assembles MNA systems.
+
+    Besides the legacy :meth:`build` (full reassembly from scratch), the
+    builder offers the Newton fast path used by
+    :func:`~repro.spice.analysis.newton.solve_newton`:
+
+    * :meth:`assemble_constant` stamps everything that is fixed across the
+      Newton iterations of one solve (linear devices, source values at the
+      present time, companion-model history) into a cached base system; all
+      companion capacitances go through one vectorized
+      :class:`~repro.spice.devices.base.CompanionCapacitorBank` scatter.
+    * :meth:`build_iteration` copies the base into a reused work system and
+      stamps only the nonlinear device linearisations on top.
+    """
 
     def __init__(self, circuit: Circuit, options: SimulationOptions | None = None):
         self.circuit = circuit
@@ -127,6 +183,38 @@ class MNABuilder:
             next_index += device.assign_branches(next_index)
         self.num_nodes = len(self.node_names)
         self.size = next_index
+        self.nonlinear_devices = [d for d in self.devices if d.is_nonlinear()]
+        # Group nonlinear devices into vectorized per-iteration banks where
+        # the device type provides one; the rest stay on the scalar path.
+        bank_groups: dict[type, list] = {}
+        self._scalar_nonlinear = []
+        for device in self.nonlinear_devices:
+            bank_cls = type(device).ITERATION_BANK
+            if bank_cls is None:
+                self._scalar_nonlinear.append(device)
+            else:
+                bank_groups.setdefault(bank_cls, []).append(device)
+        self.iteration_banks = [cls(group)
+                                for cls, group in bank_groups.items()]
+        entries = []
+        for device in self.devices:
+            entries.extend(device.companion_entries())
+        self.cap_bank = CompanionCapacitorBank(entries)
+        # Devices the transient driver must still call accept_timestep on:
+        # everything with a non-default override whose state is not fully
+        # covered by the companion bank.
+        self._accept_devices = [
+            d for d in self.devices
+            if type(d).accept_timestep is not _Device.accept_timestep
+            and not d.companion_only_accept]
+        self._diagonal = np.arange(self.num_nodes)
+        self._base = MNASystem(self.size)
+        self._work = MNASystem(self.size)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the circuit needs no Newton iteration at all."""
+        return not self.nonlinear_devices
 
     # ------------------------------------------------------------------
     def new_state(self, mode: str) -> SimState:
@@ -141,6 +229,55 @@ class MNABuilder:
         self._stamp_gmin(system, state)
         return system
 
+    def assemble_constant(self, state: SimState) -> MNASystem:
+        """Assemble the iteration-constant base system for one Newton solve."""
+        base = self._base
+        base.clear()
+        for device in self.devices:
+            device.stamp_constant(base, state)
+        if state.mode == "tran":
+            self.cap_bank.stamp_tran(base, state)
+        self._stamp_gmin(base, state)
+        return base
+
+    def build_iteration(self, state: SimState) -> MNASystem:
+        """Base system plus the present nonlinear linearisations.
+
+        Requires a preceding :meth:`assemble_constant` for this solve.
+        """
+        work = self._work
+        np.copyto(work.matrix, self._base.matrix)
+        np.copyto(work.rhs, self._base.rhs)
+        state.limited = False
+        for bank in self.iteration_banks:
+            bank.stamp_iteration(work, state)
+        for device in self._scalar_nonlinear:
+            device.stamp_iteration(work, state)
+        return work
+
+    def begin_iterations(self) -> None:
+        """Load per-device Newton history into the iteration banks; call
+        once before the build_iteration loop of a solve."""
+        for bank in self.iteration_banks:
+            bank.load_history()
+
+    def end_iterations(self) -> None:
+        """Flush bank history and linearisations back to the devices; call
+        once after the build_iteration loop of a solve (also on failure)."""
+        for bank in self.iteration_banks:
+            bank.store_history()
+
+    def accept_timestep(self, state: SimState) -> None:
+        """Commit the accepted transient sub-step to device history.
+
+        Companion capacitances are committed in one vectorized pass by the
+        bank; only devices with additional dynamic state (e.g. inductors)
+        are visited individually.
+        """
+        self.cap_bank.accept(state)
+        for device in self._accept_devices:
+            device.accept_timestep(state)
+
     def build_ac(self, state: SimState) -> MNASystem:
         """Assemble the complex small-signal system at ``state.omega``."""
         system = MNASystem(self.size, dtype=complex)
@@ -150,8 +287,8 @@ class MNABuilder:
         return system
 
     def _stamp_gmin(self, system: MNASystem, state: SimState) -> None:
-        for row in range(self.num_nodes):
-            system.matrix[row, row] += state.gmin
+        diag = self._diagonal
+        system.matrix[diag, diag] += state.gmin
 
     # ------------------------------------------------------------------
     def voltage(self, solution: np.ndarray, node: str) -> float | complex:

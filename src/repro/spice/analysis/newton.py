@@ -13,6 +13,12 @@ def solve_newton(builder: MNABuilder, state: SimState,
                  max_iterations: int | None = None) -> np.ndarray:
     """Iterate the linearised MNA system to convergence.
 
+    The iteration-constant part of the system (linear devices, sources at
+    the present time, companion history) is assembled once per call through
+    :meth:`MNABuilder.assemble_constant`; each iteration only re-stamps the
+    nonlinear linearisations on top of that base.  Fully linear circuits are
+    solved with a single factorisation and no iteration.
+
     Parameters
     ----------
     builder:
@@ -20,6 +26,8 @@ def solve_newton(builder: MNABuilder, state: SimState,
     state:
         Simulation state; ``state.x`` is updated in place with each iterate
         and holds the converged solution on return.
+        ``state.last_newton_iterations`` reports the number of iterations
+        spent (1 for the linear bypass).
     x0:
         Initial guess (defaults to the current ``state.x``).
     max_iterations:
@@ -36,44 +44,63 @@ def solve_newton(builder: MNABuilder, state: SimState,
     limit = max_iterations if max_iterations is not None else options.itl1
     if x0 is not None:
         state.x = np.array(x0, dtype=float, copy=True)
-    has_nonlinear = any(d.is_nonlinear() for d in builder.devices)
+    has_nonlinear = bool(builder.nonlinear_devices)
     num_nodes = builder.num_nodes
 
-    previous = state.x.copy()
-    for iteration in range(1, limit + 1):
-        system = builder.build(state)
-        try:
-            solution = system.solve()
-        except SingularMatrixError:
-            if iteration == 1:
-                raise
-            # A transiently singular linearisation: fall back to a damped
-            # retry from the previous iterate.
-            state.x = 0.5 * (state.x + previous)
-            continue
+    base = builder.assemble_constant(state)
 
-        delta = solution - state.x
-        # Damp excessive node-voltage excursions to keep the device
-        # linearisations in a sane region.
-        max_step = options.max_voltage_step
-        if max_step > 0.0 and num_nodes > 0:
-            worst = np.max(np.abs(delta[:num_nodes])) if num_nodes else 0.0
-            if worst > max_step:
-                delta *= max_step / worst
-                solution = state.x + delta
+    if not has_nonlinear:
+        # Linear bypass: the system does not depend on the iterate, so a
+        # single direct solve is already the fixed point of the iteration.
+        state.limited = False
+        state.x = base.solve()
+        state.last_newton_iterations = 1
+        return state.x
 
-        tolerance = np.empty_like(solution)
-        reference = np.maximum(np.abs(solution), np.abs(state.x))
-        tolerance[:num_nodes] = options.reltol * reference[:num_nodes] + options.vntol
-        tolerance[num_nodes:] = options.reltol * reference[num_nodes:] + options.abstol
-        converged = bool(np.all(np.abs(delta) <= tolerance)) and not state.limited
-
+    builder.begin_iterations()
+    try:
         previous = state.x.copy()
-        state.x = solution
+        for iteration in range(1, limit + 1):
+            system = builder.build_iteration(state)
+            try:
+                solution = system.solve()
+            except SingularMatrixError:
+                if iteration == 1:
+                    raise
+                # A transiently singular linearisation: fall back to a damped
+                # retry from the previous iterate.
+                state.x = 0.5 * (state.x + previous)
+                continue
 
-        if converged and (iteration > 1 or not has_nonlinear):
-            return state.x
+            delta = solution - state.x
+            # Damp excessive node-voltage excursions to keep the device
+            # linearisations in a sane region.
+            max_step = options.max_voltage_step
+            if max_step > 0.0 and num_nodes > 0:
+                worst = np.max(np.abs(delta[:num_nodes])) if num_nodes else 0.0
+                if worst > max_step:
+                    delta *= max_step / worst
+                    solution = state.x + delta
 
+            tolerance = np.empty_like(solution)
+            reference = np.maximum(np.abs(solution), np.abs(state.x))
+            tolerance[:num_nodes] = (options.reltol * reference[:num_nodes]
+                                     + options.vntol)
+            tolerance[num_nodes:] = (options.reltol * reference[num_nodes:]
+                                     + options.abstol)
+            converged = (bool(np.all(np.abs(delta) <= tolerance))
+                         and not state.limited)
+
+            previous = state.x.copy()
+            state.x = solution
+
+            if converged and iteration > 1:
+                state.last_newton_iterations = iteration
+                return state.x
+    finally:
+        builder.end_iterations()
+
+    state.last_newton_iterations = limit
     worst_index = int(np.argmax(np.abs(state.x - previous)))
     worst_node = None
     if worst_index < num_nodes:

@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
+import math
+import warnings
+
 import numpy as np
 
 from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
 from ..netlist import Circuit, normalize_node, GROUND
 from ..waveform import Waveform
 from .dc import solve_operating_point
-from .mna import MNABuilder, SimState, SimulationOptions
+from .mna import MNABuilder, SimState, SimulationOptions, make_lu_solver
 from .newton import solve_newton
+
+#: Hard ceiling on the number of print points (guards against pathological
+#: ``tstop/tstep`` ratios allocating unbounded trace memory).
+MAX_PRINT_POINTS = 5_000_000
 
 
 class TransientResult:
@@ -17,14 +24,18 @@ class TransientResult:
 
     Signals can be read with ``result["11"]``, ``result["v(11)"]`` or
     :meth:`waveform`, all returning :class:`~repro.spice.waveform.Waveform`
-    objects.
+    objects.  Kernel telemetry of the run (Newton iterations, accepted and
+    rejected internal steps, linear-bypass flag) is available in
+    :attr:`stats`.
     """
 
     def __init__(self, time: np.ndarray, node_traces: dict[str, np.ndarray],
-                 branch_traces: dict[str, np.ndarray] | None = None):
+                 branch_traces: dict[str, np.ndarray] | None = None,
+                 stats: dict | None = None):
         self.time = np.asarray(time, dtype=float)
         self._nodes = node_traces
         self._branches = branch_traces or {}
+        self.stats = dict(stats or {})
 
     @staticmethod
     def _canonical(signal: str) -> str:
@@ -36,6 +47,11 @@ class TransientResult:
     @property
     def nodes(self) -> list[str]:
         return sorted(self._nodes)
+
+    @property
+    def newton_iterations(self) -> int:
+        """Total linear solves spent across the run (workload metric)."""
+        return int(self.stats.get("newton_iterations", 0))
 
     def waveform(self, signal: str) -> Waveform:
         key = self._canonical(signal)
@@ -84,6 +100,11 @@ class TransientAnalysis:
     initial_conditions:
         Mapping node name -> initial voltage, honoured when ``use_ic`` is
         set.
+
+    Fully linear circuits (R/C/L plus independent and linear controlled
+    sources) bypass Newton iteration entirely: each distinct internal step
+    size is factorised once and the LU factors are reused across all
+    timesteps taken with that step size.
     """
 
     def __init__(self, circuit: Circuit, tstop: float, tstep: float,
@@ -102,8 +123,6 @@ class TransientAnalysis:
         self.use_ic = use_ic
         self.initial_conditions = dict(initial_conditions or {})
         self.record_currents = record_currents
-        #: Number of Newton iterations spent in the last run (workload metric).
-        self.total_newton_iterations = 0
 
     # ------------------------------------------------------------------
     def _initial_solution(self, builder: MNABuilder) -> np.ndarray:
@@ -125,6 +144,39 @@ class TransientAnalysis:
             return x0
         return solve_operating_point(builder, self.initial_conditions or None)
 
+    def print_grid(self) -> np.ndarray:
+        """The output time points: multiples of ``tstep`` with the final
+        point clamped to ``tstop``.
+
+        A ``tstop`` that is not an integer multiple of ``tstep`` gets an
+        extra final point at exactly ``tstop`` (the previous behaviour
+        rounded the point count and could silently stop short of ``tstop``,
+        flipping detection verdicts near the end of a test).
+        """
+        # The small relative fudge absorbs binary floating-point error in
+        # tstop/tstep (e.g. 4e-6/1e-8 = 399.99999999999994).
+        ratio = self.tstop / self.tstep
+        num_full = int(math.floor(ratio + 1e-9))
+        if num_full + 2 > MAX_PRINT_POINTS:
+            raise AnalysisError(
+                f"transient print grid would need {num_full + 1} points "
+                f"(tstop={self.tstop:g}, tstep={self.tstep:g}); "
+                f"the limit is {MAX_PRINT_POINTS}")
+        times = self.tstep * np.arange(num_full + 1)
+        remainder = self.tstop - float(times[-1])
+        if remainder > 1e-9 * self.tstep:
+            if remainder < self.tstep * self.options.min_step_fraction:
+                warnings.warn(
+                    f"tstop={self.tstop:g} leaves a final print interval of "
+                    f"{remainder:g}s, far below tstep={self.tstep:g}; "
+                    "the grid is pathological and the last step may not "
+                    "converge", stacklevel=2)
+            times = np.append(times, self.tstop)
+        else:
+            # Integer ratio up to floating-point drift: land exactly on tstop.
+            times[-1] = self.tstop
+        return times
+
     def run(self) -> TransientResult:
         builder = MNABuilder(self.circuit, self.options)
         options = self.options
@@ -138,36 +190,33 @@ class TransientAnalysis:
         for device in builder.devices:
             device.init_state(state)
 
-        num_outputs = int(round(self.tstop / self.tstep)) + 1
-        times = self.tstep * np.arange(num_outputs)
-        node_traces = {name: np.zeros(num_outputs) for name in builder.node_names}
-        branch_names = [d.name.lower() for d in builder.devices
-                        if d.branch_count() > 0] if self.record_currents else []
-        branch_traces = {name: np.zeros(num_outputs) for name in branch_names}
-
-        def record(index: int) -> None:
-            voltages = builder.node_voltages(state.x)
-            for name in builder.node_names:
-                node_traces[name][index] = voltages[name]
-            for device in builder.devices:
-                if device.branch_count() > 0 and device.name.lower() in branch_traces:
-                    branch_traces[device.name.lower()][index] = float(
-                        state.x[device.branch_index])
-
-        record(0)
+        times = self.print_grid()
+        num_outputs = len(times)
+        # One row per print point; node/branch traces are column views.
+        data = np.zeros((num_outputs, builder.size))
+        data[0] = state.x
 
         use_trap = options.integration.lower().startswith("trap")
         min_step = self.tstep * options.min_step_fraction
         step = self.tstep
         first_step_done = False
 
+        linear = builder.is_linear
+        lu_cache: dict[tuple[float, float, float], object] = {}
+        newton_iterations = 0
+        accepted_steps = 0
+        rejected_steps = 0
+
         for output_index in range(1, num_outputs):
             target = times[output_index]
             while state.time < target - 1e-18 * max(1.0, target):
-                step = min(step, target - state.time)
+                # The actual sub-step is the adaptive step clamped to the
+                # print target; ``step`` itself keeps the adaptive history so
+                # that a tiny clamped final sub-step cannot distort the
+                # accepted-step recovery below.
+                dt = min(step, target - state.time)
                 accepted = False
                 while not accepted:
-                    dt = step
                     # Integration coefficients: backward Euler for the very
                     # first step (damps the inconsistent initial derivative),
                     # trapezoidal afterwards if requested.
@@ -178,28 +227,69 @@ class TransientAnalysis:
                         state.integ_c0 = 1.0 / dt
                         state.integ_c1 = 0.0
                     state.dt = dt
-                    state.time = state.time  # unchanged until accepted
                     saved_x = state.x.copy()
                     state.time += dt
                     try:
-                        solve_newton(builder, state, x0=saved_x,
-                                     max_iterations=options.itl4)
+                        if linear:
+                            self._solve_linear_step(builder, state, lu_cache)
+                            newton_iterations += 1
+                        else:
+                            solve_newton(builder, state, x0=saved_x,
+                                         max_iterations=options.itl4)
+                            newton_iterations += state.last_newton_iterations
                         accepted = True
                     except (ConvergenceError, SingularMatrixError):
-                        # Reject: restore and halve the step.
+                        # Reject: restore and halve the sub-step; the
+                        # adaptive step follows the rejection.
                         state.time -= dt
                         state.x = saved_x
-                        step *= 0.5
-                        if step < min_step:
+                        rejected_steps += 1
+                        dt *= 0.5
+                        step = dt
+                        if dt < min_step:
                             raise ConvergenceError(
                                 f"transient step fell below the minimum at "
                                 f"t={state.time:g}s")
-                for device in builder.devices:
-                    device.accept_timestep(state)
+                builder.accept_timestep(state)
                 first_step_done = True
-                # Gentle step recovery towards the print interval.
-                if step < self.tstep:
+                accepted_steps += 1
+                # Gentle step recovery towards the print interval, driven
+                # only by genuinely accepted adaptive steps (a clamped final
+                # sub-step leaves the adaptive step untouched).
+                if dt >= step and step < self.tstep:
                     step = min(step * 2.0, self.tstep)
-            record(output_index)
+            data[output_index] = state.x
 
-        return TransientResult(times, node_traces, branch_traces)
+        node_traces = {name: data[:, index]
+                       for name, index in builder.node_index.items()}
+        branch_traces = {}
+        if self.record_currents:
+            branch_traces = {device.name.lower(): data[:, device.branch_index]
+                             for device in builder.devices
+                             if device.branch_count() > 0}
+
+        stats = {
+            "newton_iterations": newton_iterations,
+            "accepted_steps": accepted_steps,
+            "rejected_steps": rejected_steps,
+            "linear_bypass": linear,
+        }
+        return TransientResult(times, node_traces, branch_traces, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _solve_linear_step(self, builder: MNABuilder, state: SimState,
+                           lu_cache: dict) -> None:
+        """Advance a fully linear circuit by one sub-step.
+
+        The MNA matrix of a linear circuit depends only on the integration
+        coefficients (and gmin), not on time or the solution, so each
+        distinct step size is factorised exactly once and the factors are
+        reused for every timestep taken with that ``dt``.
+        """
+        base = builder.assemble_constant(state)
+        key = (state.integ_c0, state.integ_c1, state.gmin)
+        solver = lu_cache.get(key)
+        if solver is None:
+            solver = make_lu_solver(base.matrix)
+            lu_cache[key] = solver
+        state.x = solver(base.rhs)

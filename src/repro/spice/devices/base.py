@@ -11,6 +11,21 @@ system for the analysis modes supported by the simulator:
     Small-signal stamp used by the AC analysis.  Nonlinear devices use the
     conductances stored during the last operating-point stamp.
 
+The Newton fast path additionally splits the large-signal stamp in two:
+
+``stamp_constant(system, state)``
+    Contributions that do not depend on the Newton iterate ``state.x`` and
+    therefore stay fixed across all iterations of one solve (linear device
+    stamps, time-dependent source values, companion-model history).
+``stamp_iteration(system, state)``
+    Contributions that must be re-linearised around the present iterate
+    (nonlinear device characteristics).
+
+``stamp_constant + stamp_iteration + companion capacitances`` must always be
+equivalent to ``stamp``; companion capacitances announced through
+:meth:`Device.companion_entries` are stamped once per solve by the builder's
+:class:`CompanionCapacitorBank` instead of per device.
+
 Node and branch matrix indices are resolved once per analysis by
 :meth:`Device.bind` and :meth:`Device.assign_branches`.
 """
@@ -18,6 +33,8 @@ Node and branch matrix indices are resolved once per analysis by
 from __future__ import annotations
 
 from typing import Sequence
+
+import numpy as np
 
 from ...errors import NetlistError
 from ..netlist import GROUND, normalize_node
@@ -30,6 +47,17 @@ class Device:
     PREFIX = "?"
     #: Number of terminals; subclasses with a variable count override checks.
     NUM_TERMINALS: int | None = None
+    #: True when :meth:`accept_timestep` commits nothing beyond the
+    #: companion capacitances announced via :meth:`companion_entries`; the
+    #: builder then handles the commit through its vectorized bank instead
+    #: of calling the device.
+    companion_only_accept = False
+    #: Optional class implementing vectorized per-iteration stamping for all
+    #: devices of this type at once (``bank_cls(devices)`` with
+    #: ``stamp_iteration(system, state)`` / ``load_history()`` /
+    #: ``store_history()``).  ``None`` keeps the scalar
+    #: :meth:`stamp_iteration` path.
+    ITERATION_BANK: type | None = None
 
     def __init__(self, name: str, nodes: Sequence[str]):
         if not name:
@@ -108,6 +136,26 @@ class Device:
     # ------------------------------------------------------------------
     def stamp(self, system, state) -> None:
         raise NotImplementedError
+
+    def stamp_constant(self, system, state) -> None:
+        """Stamp the iteration-constant part (see module docstring).
+
+        The default treats linear devices as fully constant and nonlinear
+        devices as fully iterate-dependent.
+        """
+        if not self.is_nonlinear():
+            self.stamp(system, state)
+
+    def stamp_iteration(self, system, state) -> None:
+        """Stamp the part that depends on the present Newton iterate."""
+        if self.is_nonlinear():
+            self.stamp(system, state)
+
+    def companion_entries(self):
+        """Yield ``(CompanionCapacitor, pos_index, neg_index)`` triples for
+        the builder's vectorized capacitor bank.  Only valid after
+        :meth:`bind`."""
+        return ()
 
     def stamp_ac(self, system, state) -> None:
         """Default small-signal stamp: nothing (open circuit)."""
@@ -195,3 +243,100 @@ class CompanionCapacitor:
         if self.capacitance <= 0.0:
             return 0.0
         return self.i_prev
+
+
+class CompanionCapacitorBank:
+    """Vectorized transient stamp of every companion capacitance at once.
+
+    The bank precomputes the scatter index map of all capacitor stamps
+    (matrix entries ``(p,p)``, ``(n,n)``, ``(p,n)``, ``(n,p)`` and the two
+    RHS entries, with ground terminals dropped).  Each Newton solve then
+    fills the shared MNA system with two ``np.add.at`` scatters instead of
+    hundreds of per-device Python calls.  The individual
+    :class:`CompanionCapacitor` objects remain the owners of the companion
+    history (``v_prev``/``i_prev``); the bank gathers it on every stamp.
+    """
+
+    def __init__(self, entries):
+        entries = [(cap, pos, neg) for cap, pos, neg in entries
+                   if cap.capacitance > 0.0]
+        self.caps = [cap for cap, _, _ in entries]
+        self.capacitance = np.array([cap.capacitance for cap in self.caps])
+        m_rows: list[int] = []
+        m_cols: list[int] = []
+        m_cap: list[int] = []
+        m_sign: list[float] = []
+        r_rows: list[int] = []
+        r_cap: list[int] = []
+        r_sign: list[float] = []
+        for k, (_cap, pos, neg) in enumerate(entries):
+            for row, col, sign in ((pos, pos, 1.0), (neg, neg, 1.0),
+                                   (pos, neg, -1.0), (neg, pos, -1.0)):
+                if row >= 0 and col >= 0:
+                    m_rows.append(row)
+                    m_cols.append(col)
+                    m_cap.append(k)
+                    m_sign.append(sign)
+            # stamp_current_source(pos, neg, ieq): extracted at pos,
+            # injected at neg.
+            if pos >= 0:
+                r_rows.append(pos)
+                r_cap.append(k)
+                r_sign.append(-1.0)
+            if neg >= 0:
+                r_rows.append(neg)
+                r_cap.append(k)
+                r_sign.append(1.0)
+        self._m_index = (np.asarray(m_rows, dtype=int),
+                         np.asarray(m_cols, dtype=int))
+        self._m_cap = np.asarray(m_cap, dtype=int)
+        self._m_sign = np.asarray(m_sign)
+        self._r_rows = np.asarray(r_rows, dtype=int)
+        self._r_cap = np.asarray(r_cap, dtype=int)
+        self._r_sign = np.asarray(r_sign)
+        pos = np.asarray([p for _, p, _ in entries], dtype=int)
+        neg = np.asarray([n for _, _, n in entries], dtype=int)
+        self._pos_clipped = np.maximum(pos, 0)
+        self._neg_clipped = np.maximum(neg, 0)
+        self._pos_grounded = pos < 0
+        self._neg_grounded = neg < 0
+
+    def __len__(self) -> int:
+        return len(self.caps)
+
+    def _history(self) -> tuple[np.ndarray, np.ndarray]:
+        count = len(self.caps)
+        v_prev = np.fromiter((cap.v_prev for cap in self.caps), float, count)
+        i_prev = np.fromiter((cap.i_prev for cap in self.caps), float, count)
+        return v_prev, i_prev
+
+    def stamp_tran(self, system, state) -> None:
+        """Equivalent of calling ``CompanionCapacitor.stamp_tran`` on every
+        registered capacitance."""
+        if not self.caps:
+            return
+        v_prev, i_prev = self._history()
+        geq = state.integ_c0 * self.capacitance
+        ieq = -(geq * v_prev + state.integ_c1 * i_prev)
+        np.add.at(system.matrix, self._m_index, self._m_sign * geq[self._m_cap])
+        np.add.at(system.rhs, self._r_rows, self._r_sign * ieq[self._r_cap])
+
+    def _branch_voltages(self, state) -> np.ndarray:
+        x = state.x
+        v_pos = np.where(self._pos_grounded, 0.0, x[self._pos_clipped])
+        v_neg = np.where(self._neg_grounded, 0.0, x[self._neg_clipped])
+        return v_pos - v_neg
+
+    def accept(self, state) -> None:
+        """Equivalent of calling ``CompanionCapacitor.accept`` on every
+        registered capacitance: commit the accepted timestep to history."""
+        if not self.caps:
+            return
+        v_prev, i_prev = self._history()
+        geq = state.integ_c0 * self.capacitance
+        ieq = -(geq * v_prev + state.integ_c1 * i_prev)
+        v_now = self._branch_voltages(state)
+        i_now = geq * v_now + ieq
+        for cap, v, i in zip(self.caps, v_now.tolist(), i_now.tolist()):
+            cap.v_prev = v
+            cap.i_prev = i

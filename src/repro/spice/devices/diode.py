@@ -25,6 +25,7 @@ class Diode(Device):
 
     PREFIX = "D"
     NUM_TERMINALS = 2
+    companion_only_accept = True
 
     def __init__(self, name, anode, cathode, model: str = "", area: float = 1.0):
         super().__init__(name, [anode, cathode])
@@ -77,6 +78,12 @@ class Diode(Device):
         return limited
 
     def stamp(self, system, state) -> None:
+        self.stamp_iteration(system, state)
+        if state.mode == "tran":
+            self._companion.stamp_tran(system, state, self._idx[0], self._idx[1])
+
+    def stamp_iteration(self, system, state) -> None:
+        """Linearised junction only; the capacitance is bank-stamped."""
         anode, cathode = self._idx
         vd_requested = state.v(anode) - state.v(cathode)
         vd = self._limit(vd_requested, state.temperature)
@@ -89,8 +96,9 @@ class Diode(Device):
         ieq = current - conductance * vd
         stamp_conductance(system, anode, cathode, conductance)
         stamp_current_source(system, anode, cathode, ieq)
-        if state.mode == "tran":
-            self._companion.stamp_tran(system, state, anode, cathode)
+
+    def companion_entries(self):
+        return ((self._companion, self._idx[0], self._idx[1]),)
 
     def stamp_ac(self, system, state) -> None:
         anode, cathode = self._idx

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ...errors import ModelError
 from ...units import EPS0, EPS_SIO2, parse_value
 from .base import CompanionCapacitor, Device, stamp_current_source
@@ -41,6 +43,7 @@ class Mosfet(Device):
 
     PREFIX = "M"
     NUM_TERMINALS = 4
+    companion_only_accept = True
 
     def __init__(self, name, drain, gate, source, bulk, model: str,
                  w=10e-6, l=2e-6, ad=0.0, as_=0.0, pd=0.0, ps=0.0,
@@ -134,13 +137,18 @@ class Mosfet(Device):
             dvon = -gamma * sqrt_phi / (2.0 * phi * denom * denom)
         return von, dvon
 
-    def _drain_current(self, vgs: float, vds: float, vbs: float
+    def _drain_current(self, vgs: float, vds: float, vbs: float,
+                       threshold: tuple[float, float] | None = None
                        ) -> tuple[float, float, float, float]:
-        """Return (ids, gm, gds, gmbs) for vds >= 0 in the normalised frame."""
+        """Return (ids, gm, gds, gmbs) for vds >= 0 in the normalised frame.
+
+        ``threshold`` short-circuits the body-effect evaluation when the
+        caller already computed ``(von, dvon)`` for this ``vbs``.
+        """
         p = self.params
         beta = float(p["kp"]) * self.multiplier * self.w / self.l
         lam = float(p["lambda"])
-        von, dvon = self._threshold(vbs)
+        von, dvon = threshold if threshold is not None else self._threshold(vbs)
         vgst = vgs - von
         if vgst <= 0.0:
             return 0.0, 0.0, 0.0, 0.0
@@ -162,20 +170,36 @@ class Mosfet(Device):
     # Stamping
     # ------------------------------------------------------------------
     def stamp(self, system, state) -> None:
+        self.stamp_iteration(system, state)
+        if state.mode == "tran":
+            for key, cap in self._caps.items():
+                pos, neg = self._cap_nodes(key)
+                cap.stamp_tran(system, state, pos, neg)
+
+    def companion_entries(self):
+        for key, cap in self._caps.items():
+            pos, neg = self._cap_nodes(key)
+            yield cap, pos, neg
+
+    def stamp_iteration(self, system, state) -> None:
+        """Channel linearisation only; capacitances are bank-stamped."""
         d, g, s, b = self._idx
         pol = self.polarity
-        vd = state.v(d)
-        vg = state.v(g)
-        vs = state.v(s)
-        vb = state.v(b)
+        # Inlined terminal-voltage reads (this is the hottest loop of the
+        # whole simulator; a state.v() call per terminal is measurable).
+        x = state.x
+        vd = float(x[d]) if d >= 0 else 0.0
+        vg = float(x[g]) if g >= 0 else 0.0
+        vs = float(x[s]) if s >= 0 else 0.0
+        vb = float(x[b]) if b >= 0 else 0.0
         vds = pol * (vd - vs)
         reverse = vds < 0.0
         if reverse:
             # Exchange drain and source roles for the evaluation.
             e_d, e_s = s, d
             vds_f = -vds
-            vgs_f = pol * (vg - state.v(e_s))
-            vbs_f = pol * (vb - state.v(e_s))
+            vgs_f = pol * (vg - vd)
+            vbs_f = pol * (vb - vd)
         else:
             e_d, e_s = d, s
             vds_f = vds
@@ -183,8 +207,9 @@ class Mosfet(Device):
             vbs_f = pol * (vb - vs)
 
         # Newton step limiting on the evaluation-frame voltages.
+        threshold = self._threshold(vbs_f)
         vgs_requested, vds_requested = vgs_f, vds_f
-        vgs_f = fetlim(vgs_f, self._vgs_last, self._threshold(vbs_f)[0])
+        vgs_f = fetlim(vgs_f, self._vgs_last, threshold[0])
         vds_f = limvds(vds_f, self._vds_last)
         if (abs(vgs_f - vgs_requested) > 1e-6 + 1e-3 * abs(vgs_requested)
                 or abs(vds_f - vds_requested) > 1e-6 + 1e-3 * abs(vds_requested)):
@@ -192,7 +217,8 @@ class Mosfet(Device):
         self._vgs_last = vgs_f
         self._vds_last = vds_f
 
-        ids, gm, gds, gmbs = self._drain_current(vgs_f, vds_f, vbs_f)
+        ids, gm, gds, gmbs = self._drain_current(vgs_f, vds_f, vbs_f,
+                                                 threshold=threshold)
         self._op = {"ids": ids, "gm": gm, "gds": gds, "gmbs": gmbs,
                     "vgs": vgs_f, "vds": vds_f, "vbs": vbs_f,
                     "reverse": reverse}
@@ -213,11 +239,6 @@ class Mosfet(Device):
         system.add(e_s, e_s, gm + gds_tot + gmbs)
         system.add(e_s, b, -gmbs)
         stamp_current_source(system, e_d, e_s, pol * ieq)
-
-        if state.mode == "tran":
-            for key, cap in self._caps.items():
-                pos, neg = self._cap_nodes(key)
-                cap.stamp_tran(system, state, pos, neg)
 
     def stamp_ac(self, system, state) -> None:
         d, g, s, b = self._idx
@@ -274,3 +295,219 @@ class Mosfet(Device):
         vbd = pol * (state.v(b) - state.v(d))
         ids, _, _, _ = self._drain_current(vgd, -vds, vbd)
         return -pol * ids
+
+
+def _fetlim_vec(v_new: np.ndarray, v_old: np.ndarray,
+                vto: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`~repro.spice.devices.limits.fetlim` (identical
+    piecewise arithmetic, evaluated elementwise)."""
+    vt_old = v_old - vto
+    vt_new = v_new - vto
+    upper = 2.0 * vt_old + 2.0
+    both = np.where(vt_new > upper, upper,
+                    np.where((vt_old > 2.0) & (vt_new < 0.5 * vt_old),
+                             0.5 * vt_old, vt_new))
+    leaving = np.maximum(vt_new, -0.5)
+    entering = np.minimum(vt_new, 2.0)
+    result = np.where(vt_old >= 0.0,
+                      np.where(vt_new >= 0.0, both, leaving),
+                      np.where(vt_new >= 0.0, entering, vt_new))
+    return result + vto
+
+
+def _limvds_vec(v_new: np.ndarray, v_old: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`~repro.spice.devices.limits.limvds`."""
+    rising = v_new > v_old
+    high = np.where(rising, np.minimum(v_new, 3.0 * v_old + 2.0),
+                    np.where(v_new < 3.5, np.maximum(v_new, 2.0), v_new))
+    low = np.where(rising, np.minimum(v_new, 4.0), np.maximum(v_new, -0.5))
+    return np.where(v_old >= 3.5, high, low)
+
+
+class MosfetBank:
+    """Vectorized Newton-iteration stamp of all level-1 MOSFETs at once.
+
+    The bank precomputes the stamp index map of every channel stamp (the
+    eight matrix slots ``{d,s} x {g,d,s,b}`` and the two RHS entries per
+    device, ground terminals dropped) so that each Newton iteration gathers
+    the terminal voltages, evaluates the Shichman-Hodges equations and the
+    SPICE limiting functions in array form, and fills the shared system with
+    two ``np.add.at`` scatters.  The arithmetic mirrors
+    :meth:`Mosfet.stamp_iteration` operation for operation, so the two paths
+    produce bitwise-identical stamps.
+
+    Device objects stay the owners of the limiting history and the last
+    linearisation (``_op``) *between* solves: :meth:`load_history` gathers
+    them when a solve starts and :meth:`store_history` writes them back when
+    it ends, which keeps the scalar path (legacy ``build``, the AC refresh,
+    operating-point reporting) fully consistent.
+    """
+
+    def __init__(self, mosfets):
+        self.mosfets = list(mosfets)
+        count = len(self.mosfets)
+        idx = np.array([m._idx for m in self.mosfets], dtype=int)
+        self._gather_clip = np.maximum(idx, 0)
+        self._gather_ground = idx < 0
+        d, g, s, b = idx.T
+        self.pol = np.array([m.polarity for m in self.mosfets])
+
+        def param(key):
+            return np.array([float(m.params[key]) for m in self.mosfets])
+
+        self.beta = np.array([float(m.params["kp"]) * m.multiplier * m.w / m.l
+                              for m in self.mosfets])
+        self.lam = param("lambda")
+        self.vto = np.abs(param("vto"))
+        self.gamma = param("gamma")
+        self.phi = np.maximum(param("phi"), 0.1)
+        self.sqrt_phi = np.sqrt(self.phi)
+        self.vgs_last = np.zeros(count)
+        self.vds_last = np.zeros(count)
+        self._last_op: tuple | None = None
+
+        # Matrix scatter map: slot k of device i contributes value V[k, i]
+        # at (rows[k][i], cols[k][i]); ground entries are dropped up front.
+        slot_rows = (d, d, d, d, s, s, s, s)
+        slot_cols = (g, d, s, b, g, d, s, b)
+        m_rows, m_cols, m_slot, m_dev = [], [], [], []
+        for slot, (rows, cols) in enumerate(zip(slot_rows, slot_cols)):
+            for dev in range(count):
+                if rows[dev] >= 0 and cols[dev] >= 0:
+                    m_rows.append(rows[dev])
+                    m_cols.append(cols[dev])
+                    m_slot.append(slot)
+                    m_dev.append(dev)
+        self._m_index = (np.asarray(m_rows, dtype=int),
+                         np.asarray(m_cols, dtype=int))
+        self._m_flat = (np.asarray(m_slot, dtype=int) * count
+                        + np.asarray(m_dev, dtype=int))
+        r_rows, r_slot, r_dev = [], [], []
+        for slot, rows in enumerate((d, s)):
+            for dev in range(count):
+                if rows[dev] >= 0:
+                    r_rows.append(rows[dev])
+                    r_slot.append(slot)
+                    r_dev.append(dev)
+        self._r_rows = np.asarray(r_rows, dtype=int)
+        self._r_flat = (np.asarray(r_slot, dtype=int) * count
+                        + np.asarray(r_dev, dtype=int))
+
+    def __len__(self) -> int:
+        return len(self.mosfets)
+
+    # ------------------------------------------------------------------
+    def load_history(self) -> None:
+        """Gather the limiting history from the device objects."""
+        count = len(self.mosfets)
+        self.vgs_last = np.fromiter((m._vgs_last for m in self.mosfets),
+                                    float, count)
+        self.vds_last = np.fromiter((m._vds_last for m in self.mosfets),
+                                    float, count)
+
+    def store_history(self) -> None:
+        """Write the limiting history and the last linearisation back to the
+        device objects (AC analysis and reporting read them there)."""
+        for index, mosfet in enumerate(self.mosfets):
+            mosfet._vgs_last = float(self.vgs_last[index])
+            mosfet._vds_last = float(self.vds_last[index])
+        if self._last_op is None:
+            return
+        ids, gm, gds, gmbs, vgs, vds, vbs, reverse = self._last_op
+        for index, mosfet in enumerate(self.mosfets):
+            mosfet._op = {"ids": float(ids[index]), "gm": float(gm[index]),
+                          "gds": float(gds[index]), "gmbs": float(gmbs[index]),
+                          "vgs": float(vgs[index]), "vds": float(vds[index]),
+                          "vbs": float(vbs[index]),
+                          "reverse": bool(reverse[index])}
+
+    # ------------------------------------------------------------------
+    def _threshold(self, vbs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`Mosfet._threshold` (von and dvon/dvbs)."""
+        negative = vbs <= 0.0
+        # Clamps keep the unused lane of each where() free of sqrt/division
+        # warnings; the selected lane is untouched.
+        sqrt_term_n = np.sqrt(np.maximum(self.phi - vbs, 1e-300))
+        von_n = self.vto + self.gamma * (sqrt_term_n - self.sqrt_phi)
+        dvon_n = -self.gamma / (2.0 * sqrt_term_n)
+        denom = np.where(negative, 1.0, 1.0 + vbs / (2.0 * self.phi))
+        sqrt_term_p = self.sqrt_phi / denom
+        von_p = self.vto + self.gamma * (sqrt_term_p - self.sqrt_phi)
+        dvon_p = -self.gamma * self.sqrt_phi / (2.0 * self.phi * denom * denom)
+        von = np.where(negative, von_n, von_p)
+        dvon = np.where(negative, dvon_n, dvon_p)
+        no_body = self.gamma == 0.0
+        return np.where(no_body, self.vto, von), np.where(no_body, 0.0, dvon)
+
+    def _drain_current(self, vgs, vds, von, dvon):
+        """Vectorized :meth:`Mosfet._drain_current` for the limited
+        evaluation-frame voltages."""
+        vgst = vgs - von
+        clm = 1.0 + self.lam * vds
+        saturated = vgst <= vds
+        ids_sat = 0.5 * self.beta * vgst * vgst * clm
+        gm_sat = self.beta * vgst * clm
+        gds_sat = 0.5 * self.beta * vgst * vgst * self.lam
+        ids_tri = self.beta * (vgst - 0.5 * vds) * vds * clm
+        gm_tri = self.beta * vds * clm
+        gds_tri = (self.beta * (vgst - vds) * clm
+                   + self.beta * (vgst - 0.5 * vds) * vds * self.lam)
+        cutoff = vgst <= 0.0
+        ids = np.where(cutoff, 0.0, np.where(saturated, ids_sat, ids_tri))
+        gm = np.where(cutoff, 0.0, np.where(saturated, gm_sat, gm_tri))
+        gds = np.where(cutoff, 0.0, np.where(saturated, gds_sat, gds_tri))
+        gmbs = -gm * dvon
+        return ids, gm, gds, gmbs
+
+    def stamp_iteration(self, system, state) -> None:
+        """Stamp every channel linearisation around ``state.x`` at once."""
+        voltages = np.where(self._gather_ground, 0.0,
+                            state.x[self._gather_clip])
+        vd, vg, vs, vb = voltages.T
+        pol = self.pol
+        vds = pol * (vd - vs)
+        reverse = vds < 0.0
+        # Exchange drain and source roles where the channel is reversed.
+        v_ref = np.where(reverse, vd, vs)
+        vds_f = np.where(reverse, -vds, vds)
+        vgs_f = pol * (vg - v_ref)
+        vbs_f = pol * (vb - v_ref)
+
+        # Newton step limiting on the evaluation-frame voltages.
+        von, dvon = self._threshold(vbs_f)
+        vgs_req, vds_req = vgs_f, vds_f
+        vgs_f = _fetlim_vec(vgs_f, self.vgs_last, von)
+        vds_f = _limvds_vec(vds_f, self.vds_last)
+        limited = ((np.abs(vgs_f - vgs_req) > 1e-6 + 1e-3 * np.abs(vgs_req))
+                   | (np.abs(vds_f - vds_req) > 1e-6 + 1e-3 * np.abs(vds_req)))
+        if limited.any():
+            state.limited = True
+        self.vgs_last = vgs_f
+        self.vds_last = vds_f
+
+        ids, gm, gds, gmbs = self._drain_current(vgs_f, vds_f, von, dvon)
+        self._last_op = (ids, gm, gds, gmbs, vgs_f, vds_f, vbs_f, reverse)
+
+        # Equivalent current of the linearised characteristic (evaluation
+        # frame, flowing from the effective drain to the effective source).
+        ieq = ids - gm * vgs_f - gds * vds_f - gmbs * vbs_f
+        gds_tot = gds + state.gmin
+        total = gm + gds_tot + gmbs
+        # Slot values match Mosfet.stamp_iteration: slots are
+        # (d,g),(d,d),(d,s),(d,b),(s,g),(s,d),(s,s),(s,b).
+        v_dg = np.where(reverse, -gm, gm)
+        v_dd = np.where(reverse, total, gds_tot)
+        v_ds = -np.where(reverse, gds_tot, total)
+        v_db = np.where(reverse, -gmbs, gmbs)
+        values = np.concatenate((v_dg, v_dd, v_ds, v_db,
+                                 -v_dg, -v_dd, -v_ds, -v_db))
+        np.add.at(system.matrix, self._m_index, values[self._m_flat])
+        # RHS: current pol*ieq extracted at the effective drain, injected at
+        # the effective source.
+        i_rhs = pol * ieq
+        r_d = np.where(reverse, i_rhs, -i_rhs)
+        values_rhs = np.concatenate((r_d, -r_d))
+        np.add.at(system.rhs, self._r_rows, values_rhs[self._r_flat])
+
+
+Mosfet.ITERATION_BANK = MosfetBank

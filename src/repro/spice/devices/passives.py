@@ -46,6 +46,7 @@ class Capacitor(Device):
 
     PREFIX = "C"
     NUM_TERMINALS = 2
+    companion_only_accept = True
 
     def __init__(self, name: str, node_pos: str, node_neg: str, value,
                  ic: float | None = None):
@@ -70,6 +71,12 @@ class Capacitor(Device):
         if state.mode != "tran":
             return  # open circuit at DC
         self._companion.stamp_tran(system, state, self._idx[0], self._idx[1])
+
+    def stamp_constant(self, system, state) -> None:
+        """The companion stamp is handled by the builder's capacitor bank."""
+
+    def companion_entries(self):
+        return ((self._companion, self._idx[0], self._idx[1]),)
 
     def stamp_ac(self, system, state) -> None:
         self._companion.stamp_ac(system, state, self._idx[0], self._idx[1])

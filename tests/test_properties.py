@@ -71,9 +71,13 @@ class TestUnitProperties:
     def test_format_parse_roundtrip(self, value):
         assert parse_value(format_value(value, digits=9)) == pytest.approx(value, rel=1e-6)
 
-    @given(finite_values, st.sampled_from(["k", "meg", "u", "n", "p"]))
+    @given(st.floats(min_value=1e-15, max_value=1e5,
+                     allow_nan=False, allow_infinity=False),
+           st.sampled_from(["k", "meg", "u", "n", "p"]))
     def test_suffix_scaling(self, value, suffix):
-        assume(value < 1e6)
+        # A bounded strategy instead of assume(value < 1e6): the wide
+        # finite_values range made hypothesis filter out most draws and
+        # trip the filter_too_much health check on unlucky seeds.
         scale = {"k": 1e3, "meg": 1e6, "u": 1e-6, "n": 1e-9, "p": 1e-12}[suffix]
         assert parse_value(f"{value}{suffix}") == pytest.approx(value * scale, rel=1e-9)
 
