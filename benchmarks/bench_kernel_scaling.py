@@ -1,71 +1,109 @@
 """Kernel scaling -- cost of the transient hot path versus circuit size.
 
 Not a figure of the paper: this benchmark instruments the fast-path MNA
-kernel that every AnaFAULT campaign leans on.  It times
+kernel that every AnaFAULT campaign leans on, and since the solver-backend
+PR it also measures the dense-vs-sparse crossover that drives automatic
+backend selection (``repro.spice.analysis.backends``).  It times
 
 * fully linear RC ladders of growing size, which take the linear bypass
-  (one cached LU factorisation per distinct step size, no Newton
-  iteration), and
-* the paper's 26-transistor VCO, which exercises the Newton path with the
-  precomputed constant base and the vectorized companion-capacitor bank,
+  (one cached factorisation per distinct step size, no Newton iteration),
+  on both the dense LAPACK backend and the sparse SuperLU backend,
+* nonlinear CMOS inverter chains of growing size, which exercise the full
+  Newton path (vectorized MOSFET bank, one factorisation per iteration)
+  on both backends, and
+* the paper's 26-transistor VCO with automatic backend selection,
 
 and reports the per-solve cost for each matrix size.  The assertions pin
-the kernel invariants the speed rests on: linear circuits must take the
-bypass (exactly one linear solve per accepted step), nonlinear circuits
-must not, and the bypass must still produce physically sane waveforms.
+the invariants the speed rests on: linear circuits must take the bypass,
+nonlinear circuits must not, both backends must agree on the waveforms,
+and -- the point of the sparse backend -- sparse must beat dense at the
+largest circuit of each sweep (full mode only; smoke sizes are too small
+for the crossover).
 """
 
 import time
 
 import numpy as np
 
-from repro.circuits import build_vco, nominal_transient_settings
-from repro.spice import Capacitor, Circuit, Resistor, TransientAnalysis, VoltageSource
+from repro.circuits import build_rc_ladder, build_vco, nominal_transient_settings
+from repro.circuits.models import add_default_models
+from repro.spice.analysis.backends import SPARSE_AUTO_THRESHOLD
+from repro.spice import Capacitor, Circuit, Mosfet, TransientAnalysis, VoltageSource
 from repro.spice.devices import PulseShape
 
 #: RC ladder sizes (number of RC sections) for the linear-bypass sweep.
-LADDER_SECTIONS = (4, 16, 64)
+LADDER_SECTIONS = (64, 256, 1024)
 SMOKE_LADDER_SECTIONS = (4, 16)
 
+#: Inverter-chain lengths (stages) for the Newton-path sweep.
+CHAIN_STAGES = (32, 128, 256)
+SMOKE_CHAIN_STAGES = (8,)
 
-def build_rc_ladder(sections: int) -> Circuit:
-    """A step-driven RC ladder with ``sections`` series R / shunt C stages."""
-    circuit = Circuit(f"RC ladder ({sections} sections)")
+BACKENDS = ("dense", "sparse")
+
+
+def build_inverter_chain(stages: int) -> Circuit:
+    """A pulse-driven chain of CMOS inverters with small load capacitors."""
+    circuit = Circuit(f"inverter chain ({stages} stages)")
+    add_default_models(circuit)
+    circuit.add(VoltageSource("VDD", "vdd", "0", 5.0))
     circuit.add(VoltageSource("VIN", "in", "0",
-                              PulseShape(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0)))
+                              PulseShape(0.0, 5.0, 1e-8, 1e-9, 1e-9,
+                                         1e-7, 2e-7)))
     previous = "in"
-    for k in range(1, sections + 1):
-        node = f"n{k}"
-        circuit.add(Resistor(f"R{k}", previous, node, 1e3))
-        circuit.add(Capacitor(f"C{k}", node, "0", 1e-9))
-        previous = node
+    for k in range(1, stages + 1):
+        out = f"n{k}"
+        circuit.add(Mosfet(f"MN{k}", out, previous, "0", "0", "nch",
+                           w=10e-6, l=2e-6))
+        circuit.add(Mosfet(f"MP{k}", out, previous, "vdd", "vdd", "pch",
+                           w=20e-6, l=2e-6))
+        circuit.add(Capacitor(f"C{k}", out, "0", 50e-15))
+        previous = out
     return circuit
 
 
+def _timed_run(circuit: Circuit, backend: str, **settings):
+    analysis = TransientAnalysis(circuit, solver_backend=backend, **settings)
+    start = time.perf_counter()
+    result = analysis.run()
+    return result, time.perf_counter() - start
+
+
 def test_kernel_scaling(benchmark, record, smoke):
-    sections = SMOKE_LADDER_SECTIONS if smoke else LADDER_SECTIONS
+    ladder_sections = SMOKE_LADDER_SECTIONS if smoke else LADDER_SECTIONS
+    chain_stages = SMOKE_CHAIN_STAGES if smoke else CHAIN_STAGES
 
     def run_all():
         rows = []
-        for count in sections:
-            circuit = build_rc_ladder(count)
-            analysis = TransientAnalysis(circuit, tstop=5e-6, tstep=5e-8)
-            start = time.perf_counter()
-            result = analysis.run()
-            elapsed = time.perf_counter() - start
-            rows.append(("ladder", count, len(circuit), elapsed, result))
+        for count in ladder_sections:
+            for backend in BACKENDS:
+                circuit = build_rc_ladder(count)
+                result, elapsed = _timed_run(circuit, backend,
+                                             tstop=5e-6, tstep=5e-8)
+                rows.append(("ladder", count, backend, elapsed, result))
+        for stages in chain_stages:
+            for backend in BACKENDS:
+                circuit = build_inverter_chain(stages)
+                result, elapsed = _timed_run(circuit, backend,
+                                             tstop=4e-7, tstep=4e-9,
+                                             use_ic=True)
+                rows.append(("chain", stages, backend, elapsed, result))
         vco = build_vco()
         analysis = TransientAnalysis(vco, **nominal_transient_settings())
         start = time.perf_counter()
         result = analysis.run()
         elapsed = time.perf_counter() - start
-        rows.append(("vco", 26, len(vco), elapsed, result))
+        rows.append(("vco", 26, result.stats["solver_backend"], elapsed,
+                     result))
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
 
-    for kind, _count, _size, _elapsed, result in rows:
+    elapsed_by_key = {}
+    for kind, count, backend, elapsed, result in rows:
         stats = result.stats
+        elapsed_by_key[(kind, count, backend)] = elapsed
+        assert stats["solver_backend"] == backend
         if kind == "ladder":
             # Linear circuits must take the bypass: exactly one linear solve
             # per accepted internal step and no Newton iteration at all.
@@ -78,23 +116,53 @@ def test_kernel_scaling(benchmark, record, smoke):
             assert not stats["linear_bypass"]
             assert stats["newton_iterations"] > stats["accepted_steps"]
 
+    # Both backends must produce the same physics on every circuit.
+    for kind, sizes, node in (("ladder", ladder_sections, "n1"),
+                              ("chain", chain_stages, "n1")):
+        for count in sizes:
+            pair = [result for k, c, _b, _e, result in rows
+                    if k == kind and c == count]
+            np.testing.assert_allclose(pair[0][node].y, pair[1][node].y,
+                                       rtol=0.0, atol=1e-6)
+
+    if not smoke:
+        # The acceptance criterion of the sparse backend: it must beat the
+        # dense kernel at the largest circuit of each sweep.
+        for kind, largest in (("ladder", ladder_sections[-1]),
+                              ("chain", chain_stages[-1])):
+            dense_t = elapsed_by_key[(kind, largest, "dense")]
+            sparse_t = elapsed_by_key[(kind, largest, "sparse")]
+            assert sparse_t < dense_t, (
+                f"sparse backend slower than dense on the largest {kind} "
+                f"({largest}): {sparse_t:.3f}s vs {dense_t:.3f}s")
+
     lines = [
-        "Kernel scaling  transient hot-path cost vs circuit size",
+        "Kernel scaling  transient hot-path cost vs circuit size and backend",
         "",
-        f"{'circuit':<22}{'devices':>8}{'solves':>8}{'steps':>7}"
-        f"{'bypass':>8}{'time [ms]':>11}{'us/solve':>10}",
-        "-" * 74,
+        f"{'circuit':<22}{'backend':>8}{'size':>6}{'solves':>8}{'steps':>7}"
+        f"{'time [ms]':>11}{'us/solve':>10}",
+        "-" * 72,
     ]
-    for kind, count, size, elapsed, result in rows:
+    for kind, count, backend, elapsed, result in rows:
         stats = result.stats
-        label = f"RC ladder x{count}" if kind == "ladder" else "VCO (26 MOS)"
+        if kind == "ladder":
+            label = f"RC ladder x{count}"
+        elif kind == "chain":
+            label = f"inv chain x{count}"
+        else:
+            label = "VCO (26 MOS, auto)"
         solves = stats["newton_iterations"]
         lines.append(
-            f"{label:<22}{size:>8}{solves:>8}{stats['accepted_steps']:>7}"
-            f"{str(stats['linear_bypass']):>8}{elapsed * 1e3:>11.1f}"
+            f"{label:<22}{backend:>8}{stats['matrix_size']:>6}{solves:>8}"
+            f"{stats['accepted_steps']:>7}{elapsed * 1e3:>11.1f}"
             f"{elapsed / max(solves, 1) * 1e6:>10.1f}")
     lines += [
-        "-" * 74,
-        "linear circuits bypass Newton entirely: one cached-LU solve per step",
+        "-" * 72,
+        "ladders take the linear bypass (one cached factorisation per step "
+        "size);",
+        "chains take the Newton path (one factorisation per iteration); "
+        "'auto'",
+        f"selects dense below {SPARSE_AUTO_THRESHOLD} unknowns and sparse "
+        "above.",
     ]
     record("kernel_scaling.txt", "\n".join(lines) + "\n")

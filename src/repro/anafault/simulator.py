@@ -15,7 +15,7 @@ described in section V of the paper:
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import CampaignError, ConvergenceError, SingularMatrixError
 from ..lift.faultlist import FaultList
@@ -54,6 +54,11 @@ class CampaignSettings:
     #: Count faults whose simulation fails to converge as detected (a fault
     #: that destroys the operating region is trivially observable).
     count_failed_as_detected: bool = True
+    #: Linear-solver backend for every transient of the campaign: ``None``
+    #: or ``"auto"`` selects by matrix size, ``"dense"``/``"sparse"`` force
+    #: one path (see :mod:`repro.spice.analysis.backends`).  Travels with
+    #: the settings to process-pool workers.
+    solver_backend: str | None = None
 
 
 @dataclass
@@ -127,6 +132,8 @@ class CampaignResult:
         count = len(self.records)
         return {
             "faults": count,
+            "solver_backend": self.nominal_stats.get("solver_backend",
+                                                     "dense"),
             "nominal_elapsed_seconds": self.nominal_elapsed_seconds,
             "total_elapsed_seconds": self.total_elapsed_seconds,
             "fault_seconds_total": sum(elapsed),
@@ -162,7 +169,8 @@ class FaultSimulator:
     """Run a fault simulation campaign for one circuit and fault list."""
 
     def __init__(self, circuit: Circuit, fault_list: FaultList | None,
-                 settings: CampaignSettings | None = None):
+                 settings: CampaignSettings | None = None,
+                 solver_backend: str | None = None):
         if fault_list is None:
             # Worker mode (see for_worker): simulate_fault only, no campaign.
             fault_list = FaultList("worker", [])
@@ -171,6 +179,11 @@ class FaultSimulator:
         self.circuit = circuit
         self.fault_list = fault_list
         self.settings = settings or CampaignSettings()
+        if solver_backend is not None:
+            # Explicit override; stored on the settings so that it travels
+            # to process-pool workers with everything else.
+            self.settings = replace(self.settings,
+                                    solver_backend=solver_backend)
         self.injector = FaultInjector(circuit, self.settings.fault_model)
         self._comparator = WaveformComparator(self.settings.tolerances)
         self._nominal_elapsed = 0.0
@@ -189,7 +202,8 @@ class FaultSimulator:
         analysis = TransientAnalysis(
             circuit, tstop=settings.tstop, tstep=settings.tstep,
             options=settings.simulator_options, use_ic=settings.use_ic,
-            initial_conditions=settings.initial_conditions)
+            initial_conditions=settings.initial_conditions,
+            solver_backend=settings.solver_backend)
         result = analysis.run()
         waveforms = {}
         for node in settings.observation_nodes:

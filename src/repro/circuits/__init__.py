@@ -20,6 +20,7 @@ from .library import (
     build_cmos_inverter,
     build_current_mirror,
     build_differential_pair,
+    build_rc_ladder,
     build_rc_lowpass,
     build_schmitt_trigger,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "build_cmos_inverter",
     "build_current_mirror",
     "build_differential_pair",
+    "build_rc_ladder",
     "build_rc_lowpass",
     "build_schmitt_trigger",
 ]

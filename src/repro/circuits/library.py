@@ -19,6 +19,27 @@ def build_rc_lowpass(resistance: float = 1e3, capacitance: float = 1e-9,
     return circuit
 
 
+def build_rc_ladder(sections: int, resistance: float = 1e3,
+                    capacitance: float = 1e-9) -> Circuit:
+    """A step-driven RC ladder with ``sections`` series R / shunt C stages.
+
+    Nodes are ``in``, ``n1`` ... ``n<sections>``.  Fully linear, so it
+    exercises the transient linear bypass; the section count scales the MNA
+    matrix size (``sections + 2`` unknowns), which the solver-backend tests
+    and the kernel-scaling benchmark both lean on.
+    """
+    circuit = Circuit(f"RC ladder ({sections} sections)")
+    circuit.add(VoltageSource("VIN", "in", "0",
+                              PulseShape(0.0, 1.0, 0.0, 1e-9, 1e-9, 1.0, 2.0)))
+    previous = "in"
+    for k in range(1, sections + 1):
+        node = f"n{k}"
+        circuit.add(Resistor(f"R{k}", previous, node, resistance))
+        circuit.add(Capacitor(f"C{k}", node, "0", capacitance))
+        previous = node
+    return circuit
+
+
 def build_cmos_inverter(vdd: float = VDD_NOMINAL, wn: float = 10e-6,
                         wp: float = 20e-6, length: float = 2e-6,
                         input_voltage: float = 0.0) -> Circuit:

@@ -32,11 +32,15 @@ from .devices import (
 from .analysis import (
     ACAnalysis,
     DCSweepAnalysis,
+    DenseSolverBackend,
     OperatingPointAnalysis,
+    SolverBackend,
+    SparseSolverBackend,
     TransientAnalysis,
     TransientResult,
     OperatingPoint,
     SimulationOptions,
+    select_backend,
 )
 from .parser import parse_netlist
 from .writer import write_netlist
@@ -64,6 +68,10 @@ __all__ = [
     "TransientResult",
     "OperatingPoint",
     "SimulationOptions",
+    "SolverBackend",
+    "DenseSolverBackend",
+    "SparseSolverBackend",
+    "select_backend",
     "parse_netlist",
     "write_netlist",
     "Waveform",

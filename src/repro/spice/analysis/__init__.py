@@ -1,6 +1,23 @@
-"""Analyses of the SPICE substrate."""
+"""Analyses of the SPICE substrate.
+
+All analyses assemble modified-nodal-analysis systems through
+:class:`~repro.spice.analysis.mna.MNABuilder`; the linear-solver backend
+(dense LAPACK vs sparse SuperLU) is pluggable and auto-selected by matrix
+size — see :mod:`repro.spice.analysis.backends` and
+``docs/solver-backends.md``.
+"""
 
 from .ac import ACAnalysis, ACResult
+from .backends import (
+    BACKEND_CHOICES,
+    SPARSE_AUTO_THRESHOLD,
+    DenseSolverBackend,
+    SolverBackend,
+    SparseMNASystem,
+    SparseSolverBackend,
+    select_backend,
+    sparse_available,
+)
 from .dc import (
     DCSweepAnalysis,
     DCSweepResult,
@@ -15,6 +32,14 @@ from .transient import TransientAnalysis, TransientResult
 __all__ = [
     "ACAnalysis",
     "ACResult",
+    "BACKEND_CHOICES",
+    "SPARSE_AUTO_THRESHOLD",
+    "DenseSolverBackend",
+    "SolverBackend",
+    "SparseMNASystem",
+    "SparseSolverBackend",
+    "select_backend",
+    "sparse_available",
     "DCSweepAnalysis",
     "DCSweepResult",
     "OperatingPoint",

@@ -118,7 +118,15 @@ class SimState:
 
 
 class MNASystem:
-    """Dense MNA matrix and right-hand side with ground-aware stamping."""
+    """Dense MNA matrix and right-hand side with ground-aware stamping.
+
+    This is the reference implementation of the system interface shared by
+    all solver backends (see :mod:`repro.spice.analysis.backends`): scalar
+    stamps go through :meth:`add`/:meth:`add_rhs`, the vectorized device
+    banks go through :meth:`scatter`/:meth:`scatter_rhs`, and the solver
+    side is :meth:`solve` (one-shot) or :meth:`freeze_solver` (cached
+    factorisation for the linear-bypass path).
+    """
 
     def __init__(self, size: int, dtype=float):
         self.size = size
@@ -141,6 +149,27 @@ class MNASystem:
             return
         self.rhs[row] += value
 
+    def scatter(self, rows: np.ndarray, cols: np.ndarray,
+                values: np.ndarray) -> None:
+        """Accumulate ``values`` at ``(rows[k], cols[k])`` (duplicates sum).
+
+        Ground entries must already be dropped; the banks precompute their
+        index maps that way.
+        """
+        np.add.at(self.matrix, (rows, cols), values)
+
+    def scatter_rhs(self, rows: np.ndarray, values: np.ndarray) -> None:
+        np.add.at(self.rhs, rows, values)
+
+    def add_diagonal(self, indices: np.ndarray, value: float) -> None:
+        """Add ``value`` on the diagonal slots ``indices`` (gmin stamp)."""
+        self.matrix[indices, indices] += value
+
+    def copy_from(self, other: "MNASystem") -> None:
+        """Become a copy of ``other`` (matrix and right-hand side)."""
+        np.copyto(self.matrix, other.matrix)
+        np.copyto(self.rhs, other.rhs)
+
     def solve(self) -> np.ndarray:
         """Solve the linear system, raising :class:`SingularMatrixError` on a
         singular or numerically unusable matrix."""
@@ -151,6 +180,10 @@ class MNASystem:
         if not np.all(np.isfinite(solution)):
             raise SingularMatrixError("MNA solution contains NaN/Inf")
         return solution
+
+    def freeze_solver(self):
+        """Factorise the present matrix once and return ``solve(rhs) -> x``."""
+        return make_lu_solver(self.matrix)
 
 
 class MNABuilder:
@@ -167,9 +200,18 @@ class MNABuilder:
       :class:`~repro.spice.devices.base.CompanionCapacitorBank` scatter.
     * :meth:`build_iteration` copies the base into a reused work system and
       stamps only the nonlinear device linearisations on top.
+
+    The representation of the base/work systems (dense matrix vs sparse COO
+    accumulation) is delegated to a solver backend
+    (:mod:`repro.spice.analysis.backends`); ``solver_backend`` is ``"auto"``
+    (select by matrix size), ``"dense"``, ``"sparse"`` or an explicit
+    :class:`~repro.spice.analysis.backends.SolverBackend` instance.  The
+    legacy :meth:`build` and the complex-valued :meth:`build_ac` always use
+    dense systems regardless of the backend.
     """
 
-    def __init__(self, circuit: Circuit, options: SimulationOptions | None = None):
+    def __init__(self, circuit: Circuit, options: SimulationOptions | None = None,
+                 solver_backend=None):
         self.circuit = circuit
         self.options = options or SimulationOptions()
         self.devices = circuit.devices
@@ -208,8 +250,14 @@ class MNABuilder:
             if type(d).accept_timestep is not _Device.accept_timestep
             and not d.companion_only_accept]
         self._diagonal = np.arange(self.num_nodes)
-        self._base = MNASystem(self.size)
-        self._work = MNASystem(self.size)
+        from .backends import SolverBackend, select_backend
+
+        if isinstance(solver_backend, SolverBackend):
+            self.backend = solver_backend
+        else:
+            self.backend = select_backend(self.size, solver_backend)
+        self._base = self.backend.create_system(self.size)
+        self._work = self.backend.create_system(self.size)
 
     @property
     def is_linear(self) -> bool:
@@ -229,7 +277,7 @@ class MNABuilder:
         self._stamp_gmin(system, state)
         return system
 
-    def assemble_constant(self, state: SimState) -> MNASystem:
+    def assemble_constant(self, state: SimState):
         """Assemble the iteration-constant base system for one Newton solve."""
         base = self._base
         base.clear()
@@ -240,14 +288,13 @@ class MNABuilder:
         self._stamp_gmin(base, state)
         return base
 
-    def build_iteration(self, state: SimState) -> MNASystem:
+    def build_iteration(self, state: SimState):
         """Base system plus the present nonlinear linearisations.
 
         Requires a preceding :meth:`assemble_constant` for this solve.
         """
         work = self._work
-        np.copyto(work.matrix, self._base.matrix)
-        np.copyto(work.rhs, self._base.rhs)
+        work.copy_from(self._base)
         state.limited = False
         for bank in self.iteration_banks:
             bank.stamp_iteration(work, state)
@@ -286,9 +333,8 @@ class MNABuilder:
         self._stamp_gmin(system, state)
         return system
 
-    def _stamp_gmin(self, system: MNASystem, state: SimState) -> None:
-        diag = self._diagonal
-        system.matrix[diag, diag] += state.gmin
+    def _stamp_gmin(self, system, state: SimState) -> None:
+        system.add_diagonal(self._diagonal, state.gmin)
 
     # ------------------------------------------------------------------
     def voltage(self, solution: np.ndarray, node: str) -> float | complex:

@@ -17,7 +17,9 @@ def solve_newton(builder: MNABuilder, state: SimState,
     the present time, companion history) is assembled once per call through
     :meth:`MNABuilder.assemble_constant`; each iteration only re-stamps the
     nonlinear linearisations on top of that base.  Fully linear circuits are
-    solved with a single factorisation and no iteration.
+    solved with a single factorisation and no iteration.  Every linear solve
+    goes through the builder's solver backend (dense LAPACK or sparse
+    SuperLU, see :mod:`repro.spice.analysis.backends`).
 
     Parameters
     ----------

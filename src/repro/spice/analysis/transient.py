@@ -1,4 +1,11 @@
-"""Transient analysis with fixed print step and adaptive internal stepping."""
+"""Transient analysis with fixed print step and adaptive internal stepping.
+
+The linear algebra of every timestep goes through the solver backend
+selected for the circuit (:mod:`repro.spice.analysis.backends`): dense
+LAPACK below the size threshold, sparse SuperLU above it, overridable via
+``solver_backend``.  The choice taken, together with iteration and step
+counts, is reported in :attr:`TransientResult.stats`.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +18,7 @@ from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
 from ..netlist import Circuit, normalize_node, GROUND
 from ..waveform import Waveform
 from .dc import solve_operating_point
-from .mna import MNABuilder, SimState, SimulationOptions, make_lu_solver
+from .mna import MNABuilder, SimState, SimulationOptions
 from .newton import solve_newton
 
 #: Hard ceiling on the number of print points (guards against pathological
@@ -100,18 +107,25 @@ class TransientAnalysis:
     initial_conditions:
         Mapping node name -> initial voltage, honoured when ``use_ic`` is
         set.
+    solver_backend:
+        Linear-solver backend selection: ``"auto"`` (default, by matrix
+        size), ``"dense"`` or ``"sparse"``; see
+        :mod:`repro.spice.analysis.backends`.  The backend actually used is
+        recorded in ``TransientResult.stats["solver_backend"]``.
 
     Fully linear circuits (R/C/L plus independent and linear controlled
     sources) bypass Newton iteration entirely: each distinct internal step
-    size is factorised once and the LU factors are reused across all
-    timesteps taken with that step size.
+    size is factorised once and the factors (LAPACK LU or SuperLU,
+    depending on the backend) are reused across all timesteps taken with
+    that step size.
     """
 
     def __init__(self, circuit: Circuit, tstop: float, tstep: float,
                  options: SimulationOptions | None = None,
                  use_ic: bool = False,
                  initial_conditions: dict[str, float] | None = None,
-                 record_currents: bool = True):
+                 record_currents: bool = True,
+                 solver_backend: str | None = None):
         if tstop <= 0.0 or tstep <= 0.0:
             raise AnalysisError("tstop and tstep must be positive")
         if tstep > tstop:
@@ -123,6 +137,7 @@ class TransientAnalysis:
         self.use_ic = use_ic
         self.initial_conditions = dict(initial_conditions or {})
         self.record_currents = record_currents
+        self.solver_backend = solver_backend
 
     # ------------------------------------------------------------------
     def _initial_solution(self, builder: MNABuilder) -> np.ndarray:
@@ -178,7 +193,8 @@ class TransientAnalysis:
         return times
 
     def run(self) -> TransientResult:
-        builder = MNABuilder(self.circuit, self.options)
+        builder = MNABuilder(self.circuit, self.options,
+                             solver_backend=self.solver_backend)
         options = self.options
 
         x0 = self._initial_solution(builder)
@@ -273,6 +289,8 @@ class TransientAnalysis:
             "accepted_steps": accepted_steps,
             "rejected_steps": rejected_steps,
             "linear_bypass": linear,
+            "solver_backend": builder.backend.name,
+            "matrix_size": builder.size,
         }
         return TransientResult(times, node_traces, branch_traces, stats=stats)
 
@@ -283,13 +301,15 @@ class TransientAnalysis:
 
         The MNA matrix of a linear circuit depends only on the integration
         coefficients (and gmin), not on time or the solution, so each
-        distinct step size is factorised exactly once and the factors are
-        reused for every timestep taken with that ``dt``.
+        distinct step size is factorised exactly once — through the
+        backend's :meth:`freeze_solver` (dense LAPACK LU or sparse SuperLU)
+        — and the factors are reused for every timestep taken with that
+        ``dt``.
         """
         base = builder.assemble_constant(state)
         key = (state.integ_c0, state.integ_c1, state.gmin)
         solver = lu_cache.get(key)
         if solver is None:
-            solver = make_lu_solver(base.matrix)
+            solver = base.freeze_solver()
             lu_cache[key] = solver
         state.x = solver(base.rhs)

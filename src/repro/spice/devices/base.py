@@ -251,7 +251,8 @@ class CompanionCapacitorBank:
     The bank precomputes the scatter index map of all capacitor stamps
     (matrix entries ``(p,p)``, ``(n,n)``, ``(p,n)``, ``(n,p)`` and the two
     RHS entries, with ground terminals dropped).  Each Newton solve then
-    fills the shared MNA system with two ``np.add.at`` scatters instead of
+    fills the shared MNA system with two vectorized ``system.scatter``
+    calls (dense: ``np.add.at``; sparse: one appended COO chunk) instead of
     hundreds of per-device Python calls.  The individual
     :class:`CompanionCapacitor` objects remain the owners of the companion
     history (``v_prev``/``i_prev``); the bank gathers it on every stamp.
@@ -318,8 +319,9 @@ class CompanionCapacitorBank:
         v_prev, i_prev = self._history()
         geq = state.integ_c0 * self.capacitance
         ieq = -(geq * v_prev + state.integ_c1 * i_prev)
-        np.add.at(system.matrix, self._m_index, self._m_sign * geq[self._m_cap])
-        np.add.at(system.rhs, self._r_rows, self._r_sign * ieq[self._r_cap])
+        system.scatter(self._m_index[0], self._m_index[1],
+                       self._m_sign * geq[self._m_cap])
+        system.scatter_rhs(self._r_rows, self._r_sign * ieq[self._r_cap])
 
     def _branch_voltages(self, state) -> np.ndarray:
         x = state.x

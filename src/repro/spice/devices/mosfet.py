@@ -332,7 +332,7 @@ class MosfetBank:
     device, ground terminals dropped) so that each Newton iteration gathers
     the terminal voltages, evaluates the Shichman-Hodges equations and the
     SPICE limiting functions in array form, and fills the shared system with
-    two ``np.add.at`` scatters.  The arithmetic mirrors
+    two vectorized ``system.scatter`` calls.  The arithmetic mirrors
     :meth:`Mosfet.stamp_iteration` operation for operation, so the two paths
     produce bitwise-identical stamps.
 
@@ -501,13 +501,14 @@ class MosfetBank:
         v_db = np.where(reverse, -gmbs, gmbs)
         values = np.concatenate((v_dg, v_dd, v_ds, v_db,
                                  -v_dg, -v_dd, -v_ds, -v_db))
-        np.add.at(system.matrix, self._m_index, values[self._m_flat])
+        system.scatter(self._m_index[0], self._m_index[1],
+                       values[self._m_flat])
         # RHS: current pol*ieq extracted at the effective drain, injected at
         # the effective source.
         i_rhs = pol * ieq
         r_d = np.where(reverse, i_rhs, -i_rhs)
         values_rhs = np.concatenate((r_d, -r_d))
-        np.add.at(system.rhs, self._r_rows, values_rhs[self._r_flat])
+        system.scatter_rhs(self._r_rows, values_rhs[self._r_flat])
 
 
 Mosfet.ITERATION_BANK = MosfetBank

@@ -1,0 +1,149 @@
+"""Docs-rot check: the prose documentation must stay true.
+
+Fast checks wired into the tier-1 run so the docs cannot silently rot:
+
+* every relative markdown link (including ``#fragment`` anchors) resolves
+  to an existing file/heading,
+* every backtick-quoted repository path (``tests/...``, ``benchmarks/...``)
+  exists,
+* every backtick-quoted ``repro...`` dotted name imports,
+* ``python`` code blocks compile, and ``pycon`` (``>>>``) blocks run as
+  doctests against the live package.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DOC_FILES = sorted([ROOT / "README.md", *(ROOT / "docs").glob("*.md")])
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+REPO_PATH_RE = re.compile(r"`([\w./-]+/[\w.-]+\.(?:py|md|txt|ini))`")
+DOTTED_NAME_RE = re.compile(r"`(repro(?:\.\w+)+)(\(\))?`")
+
+
+def _doc_ids(paths):
+    return [str(p.relative_to(ROOT)) for p in paths]
+
+
+def _split_prose_and_blocks(text: str):
+    """Return (prose_lines, [(language, code)]) of a markdown document."""
+    prose: list[str] = []
+    blocks: list[tuple[str, str]] = []
+    language = None
+    code: list[str] = []
+    for line in text.splitlines():
+        fence = FENCE_RE.match(line)
+        if fence and language is None:
+            language = fence.group(1) or "text"
+            code = []
+        elif line.strip() == "```" and language is not None:
+            blocks.append((language, "\n".join(code) + "\n"))
+            language = None
+        elif language is not None:
+            code.append(line)
+        else:
+            prose.append(line)
+    assert language is None, "unterminated code fence"
+    return prose, blocks
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"\s+", "-", slug)
+
+
+def _headings(path: pathlib.Path) -> set[str]:
+    prose, _ = _split_prose_and_blocks(path.read_text(encoding="utf-8"))
+    return {_github_slug(line.lstrip("#"))
+            for line in prose if line.startswith("#")}
+
+
+@pytest.fixture(params=DOC_FILES, ids=_doc_ids(DOC_FILES))
+def doc(request):
+    path = request.param
+    prose, blocks = _split_prose_and_blocks(
+        path.read_text(encoding="utf-8"))
+    return path, "\n".join(prose), blocks
+
+
+def test_docs_exist():
+    """The documentation set this repository promises."""
+    assert (ROOT / "README.md").is_file()
+    assert (ROOT / "docs" / "architecture.md").is_file()
+    assert (ROOT / "docs" / "solver-backends.md").is_file()
+
+
+def test_relative_links_resolve(doc):
+    path, prose, _ = doc
+    for target in LINK_RE.findall(prose):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        resolved = (path.parent / target).resolve() if target else path
+        assert resolved.exists(), f"{path.name}: broken link {target!r}"
+        if fragment:
+            assert resolved.suffix == ".md", (
+                f"{path.name}: anchor on non-markdown target {target!r}")
+            assert fragment in _headings(resolved), (
+                f"{path.name}: missing anchor #{fragment} in {target!r}")
+
+
+def test_repository_paths_exist(doc):
+    path, prose, _ = doc
+    for relative in REPO_PATH_RE.findall(prose):
+        assert (ROOT / relative).exists(), (
+            f"{path.name}: references missing file {relative!r}")
+
+
+def test_dotted_names_import(doc):
+    path, prose, _ = doc
+    for dotted, _call in DOTTED_NAME_RE.findall(prose):
+        parts = dotted.split(".")
+        obj = None
+        for split in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:split]))
+            except ImportError:
+                continue
+            remainder = parts[split:]
+            break
+        assert obj is not None, f"{path.name}: cannot import {dotted!r}"
+        for attribute in remainder:
+            assert hasattr(obj, attribute), (
+                f"{path.name}: {dotted!r} has no attribute {attribute!r}")
+            obj = getattr(obj, attribute)
+
+
+def test_python_blocks_compile(doc):
+    path, _, blocks = doc
+    for index, (language, code) in enumerate(blocks):
+        if language == "python":
+            compile(code, f"{path.name}[block {index}]", "exec")
+
+
+def test_pycon_blocks_run_as_doctests(doc):
+    path, _, blocks = doc
+    pycon = [(i, code) for i, (language, code) in enumerate(blocks)
+             if language == "pycon"]
+    if not pycon:
+        pytest.skip(f"{path.name} has no pycon blocks")
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    for index, code in pycon:
+        test = parser.get_doctest(code, {}, f"{path.name}[block {index}]",
+                                  str(path), 0)
+        runner.run(test, clear_globs=False)
+    assert runner.failures == 0, (
+        f"{path.name}: {runner.failures} doctest failure(s); run "
+        "`python -m doctest` on the failing block for details")
