@@ -11,7 +11,17 @@ coverage differs (our generated layout contains gate opens and
 logically-redundant bridges the hand layout did not have); the *shape* --
 steep rise once the oscillator has started, long plateau afterwards -- is
 what the assertions check.
+
+Since the streaming-engine PR the benchmark also validates that engine
+(see ``docs/campaigns.md``): the timed campaign runs with observed-node
+streaming + the shared-memory nominal + a checkpoint, a reference campaign
+runs the legacy full-trace/pickled-nominal path, and the two must agree
+verdict for verdict while the telemetry table shows the measured IPC and
+trace-memory win.  A second, checkpoint-resumed campaign must reproduce
+the coverage number while re-simulating nothing.
 """
+
+from dataclasses import replace
 
 from repro.anafault import (
     CampaignSettings,
@@ -25,24 +35,29 @@ from repro.circuits import OUTPUT_NODE
 
 
 def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
-                             smoke, fault_budget):
+                             smoke, fault_budget, campaign_engine, tmp_path):
     circuit, _layout = vco_pair
     faults = cat_extraction.realistic_faults
     if fault_budget is not None:
         faults = faults.top(fault_budget)
 
-    settings = CampaignSettings(
+    base_settings = CampaignSettings(
         tstop=4e-6, tstep=1e-8, use_ic=True,
         observation_nodes=(OUTPUT_NODE,),
-        tolerances=ToleranceSettings(amplitude=2.0, time=0.2e-6))
+        tolerances=ToleranceSettings(amplitude=2.0, time=0.2e-6),
+        **campaign_engine)
+    streaming_settings = replace(base_settings, stream_traces=True,
+                                 use_shared_memory=True)
+    legacy_settings = replace(base_settings, stream_traces=False,
+                              use_shared_memory=False)
+    checkpoint = tmp_path / "fig5_campaign.jsonl"
 
-    simulator = FaultSimulator(circuit, faults, settings)
-    result = benchmark.pedantic(lambda: simulator.run(workers=2),
-                                rounds=1, iterations=1)
+    simulator = FaultSimulator(circuit, faults, streaming_settings)
+    result = benchmark.pedantic(
+        lambda: simulator.run(workers=2, checkpoint=checkpoint),
+        rounds=1, iterations=1)
 
     coverage = result.coverage()
-    curve = coverage.waveform(points=101)
-
     final = coverage.final_coverage()
     if not smoke:
         # Shape checks against Fig. 5 (need the full fault list):
@@ -51,12 +66,56 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         #    is detected in the first ~60 % of the test time (the paper's
         #    "all faults detected after approximately 55 %").
         assert final > 0.6
-        assert coverage.coverage_at(0.6 * settings.tstop) >= 0.9 * final
+        assert coverage.coverage_at(0.6 * streaming_settings.tstop) >= 0.9 * final
         # Most detections happen early (steep initial rise after the
         # oscillator start-up, cf. "after 25 % of test time the fault
         # coverage almost reaches 100 %").
-        assert coverage.coverage_at(0.45 * settings.tstop) >= 0.7 * final
+        assert coverage.coverage_at(0.45 * streaming_settings.tstop) >= 0.7 * final
 
+    # ------------------------------------------------------------------
+    # Engine validation: the legacy full-trace path must agree verdict for
+    # verdict -- streaming changes memory and IPC cost, never physics.
+    legacy = FaultSimulator(circuit, faults, legacy_settings).run(workers=2)
+    assert ([r.fault.fault_id for r in result.records]
+            == [r.fault.fault_id for r in legacy.records])
+    assert ([r.status for r in result.records]
+            == [r.status for r in legacy.records])
+    assert ([r.detection_time for r in result.records]
+            == [r.detection_time for r in legacy.records])
+    assert result.fault_coverage() == legacy.fault_coverage()
+
+    # A checkpointed-then-resumed campaign reproduces the coverage number
+    # without re-simulating a single fault.
+    resumed = FaultSimulator(circuit, faults, streaming_settings).run(
+        workers=2, checkpoint=checkpoint)
+    assert resumed.checkpoint_skipped == len(result.records)
+    assert resumed.fault_coverage() == result.fault_coverage()
+
+    # The measured streaming win: the shared-memory nominal costs each
+    # worker a tiny fraction of the pickled-copy payload, and the per-fault
+    # trace allocation shrinks to the observed nodes.
+    streaming_telemetry = result.telemetry()
+    legacy_telemetry = legacy.telemetry()
+    assert streaming_telemetry["nominal_store"] == "shared_memory"
+    assert legacy_telemetry["nominal_store"] == "inline"
+    assert (streaming_telemetry["nominal_ipc_bytes"]
+            < legacy_telemetry["nominal_ipc_bytes"] / 5)
+    assert (streaming_telemetry["trace_bytes_max"]
+            < legacy_telemetry["trace_bytes_max"])
+
+    def _column(key, fmt="{:,}"):
+        return (fmt.format(streaming_telemetry[key]),
+                fmt.format(legacy_telemetry[key]))
+
+    telemetry_rows = [
+        ("nominal store", streaming_telemetry["nominal_store"],
+         legacy_telemetry["nominal_store"]),
+        ("nominal IPC payload / worker [B]", *_column("nominal_ipc_bytes")),
+        ("record IPC payload total [B]", *_column("record_ipc_bytes_total")),
+        ("trace bytes / fault (max) [B]", *_column("trace_bytes_max")),
+        ("fault coverage", f"{result.fault_coverage():.1%}",
+         f"{legacy.fault_coverage():.1%}"),
+    ]
     lines = [
         "Fig. 5  fault coverage vs time (2 V amplitude, 0.2 us time tolerance)",
         "",
@@ -65,10 +124,22 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         coverage_plot(result),
         "",
         "paper: ~100 % coverage after ~25 % of test time, all faults after ~55 %",
-        f"ours : {coverage.coverage_at(0.25 * settings.tstop):.0%} after 25 %, "
-        f"{coverage.coverage_at(0.55 * settings.tstop):.0%} after 55 %, "
+        f"ours : {coverage.coverage_at(0.25 * streaming_settings.tstop):.0%} after 25 %, "
+        f"{coverage.coverage_at(0.55 * streaming_settings.tstop):.0%} after 55 %, "
         f"final {final:.0%} "
         "(undetected remainder: floating-gate opens and logically redundant bridges)",
+        "",
+        "memory / IPC telemetry  (identical verdicts on every fault)",
+        f"{'':<34}{'streaming engine':>18}{'full-trace path':>18}",
+        "-" * 70,
+    ]
+    lines += [f"{label:<34}{streaming_value:>18}{legacy_value:>18}"
+              for label, streaming_value, legacy_value in telemetry_rows]
+    lines += [
+        "-" * 70,
+        f"checkpoint resume: {resumed.checkpoint_skipped} records reloaded, "
+        f"0 re-simulated, coverage {resumed.fault_coverage():.1%} "
+        "(identical to the straight-through run)",
         "",
         format_fault_table(result, limit=40),
     ]

@@ -10,15 +10,19 @@ backend selection (``repro.spice.analysis.backends``).  It times
   on both the dense LAPACK backend and the sparse SuperLU backend,
 * nonlinear CMOS inverter chains of growing size, which exercise the full
   Newton path (vectorized MOSFET bank, one factorisation per iteration)
-  on both backends, and
-* the paper's 26-transistor VCO with automatic backend selection,
+  on both backends,
+* the paper's 26-transistor VCO with automatic backend selection, and
+* the largest circuit of each sweep once more with observed-node
+  streaming (``record_nodes``, the campaign engine's recording mode --
+  see ``docs/campaigns.md``),
 
-and reports the per-solve cost for each matrix size.  The assertions pin
-the invariants the speed rests on: linear circuits must take the bypass,
-nonlinear circuits must not, both backends must agree on the waveforms,
-and -- the point of the sparse backend -- sparse must beat dense at the
-largest circuit of each sweep (full mode only; smoke sizes are too small
-for the crossover).
+and reports the per-solve cost and trace memory for each matrix size.
+The assertions pin the invariants the speed rests on: linear circuits
+must take the bypass, nonlinear circuits must not, both backends must
+agree on the waveforms, streaming must shrink the trace allocation
+without changing the recorded samples, and -- the point of the sparse
+backend -- sparse must beat dense at the largest circuit of each sweep
+(full mode only; smoke sizes are too small for the crossover).
 """
 
 import time
@@ -62,8 +66,9 @@ def build_inverter_chain(stages: int) -> Circuit:
     return circuit
 
 
-def _timed_run(circuit: Circuit, backend: str, **settings):
-    analysis = TransientAnalysis(circuit, solver_backend=backend, **settings)
+def _timed_run(circuit: Circuit, backend: str, record_nodes=None, **settings):
+    analysis = TransientAnalysis(circuit, solver_backend=backend,
+                                 record_nodes=record_nodes, **settings)
     start = time.perf_counter()
     result = analysis.run()
     return result, time.perf_counter() - start
@@ -95,6 +100,20 @@ def test_kernel_scaling(benchmark, record, smoke):
         elapsed = time.perf_counter() - start
         rows.append(("vco", 26, result.stats["solver_backend"], elapsed,
                      result))
+        # Observed-node streaming (the campaign recording mode) on the
+        # largest circuit of each sweep: same solves, one trace column.
+        circuit = build_rc_ladder(ladder_sections[-1])
+        result, elapsed = _timed_run(circuit, "sparse",
+                                     record_nodes=("n1",),
+                                     tstop=5e-6, tstep=5e-8)
+        rows.append(("ladder-stream", ladder_sections[-1], "sparse",
+                     elapsed, result))
+        circuit = build_inverter_chain(chain_stages[-1])
+        result, elapsed = _timed_run(circuit, "sparse",
+                                     record_nodes=("n1",),
+                                     tstop=4e-7, tstep=4e-9, use_ic=True)
+        rows.append(("chain-stream", chain_stages[-1], "sparse",
+                     elapsed, result))
         return rows
 
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -104,7 +123,7 @@ def test_kernel_scaling(benchmark, record, smoke):
         stats = result.stats
         elapsed_by_key[(kind, count, backend)] = elapsed
         assert stats["solver_backend"] == backend
-        if kind == "ladder":
+        if kind.startswith("ladder"):
             # Linear circuits must take the bypass: exactly one linear solve
             # per accepted internal step and no Newton iteration at all.
             assert stats["linear_bypass"]
@@ -125,6 +144,18 @@ def test_kernel_scaling(benchmark, record, smoke):
             np.testing.assert_allclose(pair[0][node].y, pair[1][node].y,
                                        rtol=0.0, atol=1e-6)
 
+    # Observed-node streaming: identical samples on the recorded node, a
+    # fraction of the trace memory (one column instead of the full matrix).
+    for kind, largest in (("ladder", ladder_sections[-1]),
+                          ("chain", chain_stages[-1])):
+        full = next(r for k, c, b, _e, r in rows
+                    if k == kind and c == largest and b == "sparse")
+        streamed = next(r for k, _c, _b, _e, r in rows
+                        if k == f"{kind}-stream")
+        np.testing.assert_array_equal(streamed["n1"].y, full["n1"].y)
+        assert streamed.stats["recorded_nodes"] == 1
+        assert streamed.stats["trace_bytes"] * 5 < full.stats["trace_bytes"]
+
     if not smoke:
         # The acceptance criterion of the sparse backend: it must beat the
         # dense kernel at the largest circuit of each sweep.
@@ -140,8 +171,8 @@ def test_kernel_scaling(benchmark, record, smoke):
         "Kernel scaling  transient hot-path cost vs circuit size and backend",
         "",
         f"{'circuit':<22}{'backend':>8}{'size':>6}{'solves':>8}{'steps':>7}"
-        f"{'time [ms]':>11}{'us/solve':>10}",
-        "-" * 72,
+        f"{'time [ms]':>11}{'us/solve':>10}{'trace KB':>10}",
+        "-" * 82,
     ]
     for kind, count, backend, elapsed, result in rows:
         stats = result.stats
@@ -149,20 +180,29 @@ def test_kernel_scaling(benchmark, record, smoke):
             label = f"RC ladder x{count}"
         elif kind == "chain":
             label = f"inv chain x{count}"
+        elif kind == "ladder-stream":
+            label = f"RC ladder x{count} [s]"
+        elif kind == "chain-stream":
+            label = f"inv chain x{count} [s]"
         else:
             label = "VCO (26 MOS, auto)"
         solves = stats["newton_iterations"]
         lines.append(
             f"{label:<22}{backend:>8}{stats['matrix_size']:>6}{solves:>8}"
             f"{stats['accepted_steps']:>7}{elapsed * 1e3:>11.1f}"
-            f"{elapsed / max(solves, 1) * 1e6:>10.1f}")
+            f"{elapsed / max(solves, 1) * 1e6:>10.1f}"
+            f"{stats['trace_bytes'] / 1024:>10.1f}")
     lines += [
-        "-" * 72,
+        "-" * 82,
         "ladders take the linear bypass (one cached factorisation per step "
         "size);",
         "chains take the Newton path (one factorisation per iteration); "
         "'auto'",
         f"selects dense below {SPARSE_AUTO_THRESHOLD} unknowns and sparse "
         "above.",
+        "[s] = observed-node streaming (record_nodes): same solves, the "
+        "trace",
+        "memory drops to the one recorded column (the campaign engine's "
+        "mode).",
     ]
     record("kernel_scaling.txt", "\n".join(lines) + "\n")

@@ -20,7 +20,7 @@ FAULT_COUNT = 25
 
 
 def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record,
-                               fault_budget):
+                               fault_budget, campaign_engine):
     circuit, _layout = vco_pair
     fault_count = (FAULT_COUNT if fault_budget is None
                    else min(FAULT_COUNT, fault_budget))
@@ -34,7 +34,7 @@ def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record,
                 tstop=4e-6, tstep=1e-8, use_ic=True,
                 observation_nodes=(OUTPUT_NODE,),
                 tolerances=ToleranceSettings(2.0, 0.2e-6),
-                fault_model=model)
+                fault_model=model, **campaign_engine)
             results[name] = FaultSimulator(circuit, faults, settings).run(workers=2)
         return results
 

@@ -28,7 +28,9 @@ from .report import (
     full_report,
     waveform_plot,
 )
-from .parallel import run_faults_parallel
+from .parallel import iter_faults_parallel, run_faults_parallel
+from .streaming import InlineNominalStore, NominalStore, publish_nominal
+from .checkpoint import CampaignCheckpoint, campaign_fingerprint
 
 __all__ = [
     "FaultModelOptions",
@@ -58,4 +60,10 @@ __all__ = [
     "waveform_plot",
     "full_report",
     "run_faults_parallel",
+    "iter_faults_parallel",
+    "NominalStore",
+    "InlineNominalStore",
+    "publish_nominal",
+    "CampaignCheckpoint",
+    "campaign_fingerprint",
 ]

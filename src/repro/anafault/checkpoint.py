@@ -1,0 +1,217 @@
+"""Incremental campaign checkpointing (crash-safe JSONL, fingerprint-keyed).
+
+A layout-realistic campaign runs hundreds of transients; a crash near the
+end used to throw all of them away.  :class:`CampaignCheckpoint` persists
+every finished :class:`~repro.anafault.simulator.FaultSimulationRecord` as
+one JSON line the moment it completes, and
+``FaultSimulator.run(checkpoint=...)`` skips the fault ids already on disk
+when the campaign is restarted.
+
+File format (version 1) — a header line followed by one record line per
+completed fault, each a self-contained JSON object::
+
+    {"kind": "header", "version": 1, "fingerprint": "9f0c…", "campaign": …}
+    {"kind": "record", "fault_id": 17, "status": "detected", …}
+    {"kind": "record", "fault_id": 23, "status": "undetected", …}
+
+Records are appended with a flush per line, so after a hard kill at worst
+the final line is torn; :meth:`CampaignCheckpoint.load` tolerates (and
+reports) such a tail.  The header carries the **campaign fingerprint** — a
+SHA-256 over the circuit netlist, the serialised fault list and the campaign
+settings (:func:`campaign_fingerprint`) — and a checkpoint written for a
+different campaign refuses to resume instead of silently mixing results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+from ..errors import CampaignError
+from ..lift.faultlist import FaultList
+from ..spice import Circuit
+from ..spice.writer import write_netlist
+
+#: Format version written to (and required of) the header line.
+CHECKPOINT_VERSION = 1
+
+#: Record fields persisted per fault (everything except the fault object,
+#: reconstructed from the campaign's fault list on resume, and
+#: ``payload_bytes``, which reports per-run IPC cost and never round-trips).
+RECORD_FIELDS = ("status", "detection_time", "detected_on", "max_deviation",
+                 "elapsed_seconds", "message", "newton_iterations",
+                 "trace_bytes")
+
+#: Settings fields excluded from the fingerprint: they configure how the
+#: engine spends memory and IPC, never what is simulated, so toggling them
+#: (e.g. resuming with shared memory off after a /dev/shm problem) must not
+#: orphan a checkpoint.
+VERDICT_NEUTRAL_SETTINGS = ("stream_traces", "use_shared_memory",
+                            "tail_downsample")
+
+
+def _settings_text(settings) -> str:
+    """Deterministic settings serialisation for fingerprinting, with the
+    verdict-neutral engine knobs left out."""
+    try:
+        fields = dataclasses.fields(settings)
+    except TypeError:  # not a dataclass; fall back to the full repr
+        return repr(settings)
+    parts = [f"{f.name}={getattr(settings, f.name)!r}" for f in fields
+             if f.name not in VERDICT_NEUTRAL_SETTINGS]
+    return ", ".join(parts)
+
+
+def campaign_fingerprint(circuit: Circuit, fault_list: FaultList,
+                         settings) -> str:
+    """Identity of one campaign: circuit + fault list + settings hash.
+
+    The circuit contributes through its serialised netlist, the fault list
+    through its LIFT interchange text and the settings field by field —
+    any change to what would be simulated (different netlist, reordered or
+    re-weighted faults, other tolerances or transient length) yields a
+    different fingerprint, and a checkpoint keyed on the old one refuses
+    to resume.  The engine-only switches (:data:`VERDICT_NEUTRAL_SETTINGS`)
+    are excluded: they change memory/IPC cost, never verdicts, so a
+    checkpoint survives toggling them.
+    """
+    digest = hashlib.sha256()
+    for part in (write_netlist(circuit), fault_list.dumps(),
+                 _settings_text(settings)):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:32]
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL store of finished fault simulation records.
+
+    Usage by the campaign manager (``FaultSimulator.run``)::
+
+        checkpoint = CampaignCheckpoint(path)
+        completed = checkpoint.load(fingerprint)   # fault_id -> payload dict
+        checkpoint.start(fingerprint, campaign=fault_list.name)
+        checkpoint.append(record)                  # after each fault
+        checkpoint.close()
+
+    :meth:`load` returns the per-fault payloads of a compatible checkpoint
+    (empty when the file does not exist yet) and raises
+    :class:`~repro.errors.CampaignError` when the file belongs to a
+    different campaign; :meth:`start` writes the header if the file is new.
+    """
+
+    def __init__(self, path):
+        self.path = pathlib.Path(path)
+        self._handle = None
+        #: Lines that could not be decoded on the last :meth:`load` (a torn
+        #: tail after a hard kill shows up here, never as an exception).
+        self.skipped_lines = 0
+        # Set by load(): the file exists but no valid header survived (e.g.
+        # the header line itself was torn); start() must rewrite it or every
+        # future resume would fail the records-but-no-header check.
+        self._needs_header = False
+
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str) -> dict[int, dict]:
+        """Payloads of the completed faults, keyed by fault id.
+
+        Returns ``{}`` for a missing or empty file.  Raises
+        :class:`~repro.errors.CampaignError` when the header belongs to a
+        different campaign (fingerprint mismatch) or an incompatible format
+        version — resuming would silently mix unrelated results.
+        """
+        self.skipped_lines = 0
+        self._needs_header = False
+        if not self.path.exists():
+            return {}
+        completed: dict[int, dict] = {}
+        header_seen = False
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn tail from a hard kill; count it and move on.
+                    self.skipped_lines += 1
+                    continue
+                kind = entry.get("kind")
+                if kind == "header":
+                    if entry.get("version") != CHECKPOINT_VERSION:
+                        raise CampaignError(
+                            f"checkpoint {self.path} has format version "
+                            f"{entry.get('version')!r}; this build reads "
+                            f"version {CHECKPOINT_VERSION}")
+                    if entry.get("fingerprint") != fingerprint:
+                        raise CampaignError(
+                            f"checkpoint {self.path} belongs to a different "
+                            f"campaign (fingerprint "
+                            f"{entry.get('fingerprint')!r}, expected "
+                            f"{fingerprint!r}); refusing to resume — delete "
+                            "the file to start over")
+                    header_seen = True
+                elif kind == "record":
+                    completed[int(entry["fault_id"])] = entry
+        if completed and not header_seen:
+            raise CampaignError(
+                f"checkpoint {self.path} has records but no readable "
+                "header; refusing to resume")
+        self._needs_header = not header_seen
+        return completed
+
+    # ------------------------------------------------------------------
+    def start(self, fingerprint: str, campaign: str = "") -> None:
+        """Open for appending, writing the header line if the file is new."""
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        torn_tail = False
+        if not fresh:
+            with open(self.path, "rb") as peek:
+                peek.seek(-1, 2)
+                torn_tail = peek.read(1) != b"\n"
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if torn_tail:
+            # A crash mid-write left no trailing newline; terminate the torn
+            # line so the next append does not merge into it (the fragment
+            # is skipped, not mis-parsed, on the next load).
+            self._handle.write("\n")
+            self._handle.flush()
+        if fresh or self._needs_header:
+            # `_needs_header`: the file exists but its header line was torn
+            # by a crash; append a fresh one (load() accepts the header on
+            # any line) so the next resume is not refused.
+            self._write({"kind": "header", "version": CHECKPOINT_VERSION,
+                         "fingerprint": fingerprint, "campaign": campaign})
+            self._needs_header = False
+
+    def append(self, record) -> None:
+        """Persist one finished record (one flushed JSON line)."""
+        if self._handle is None:
+            raise CampaignError(
+                "checkpoint is not open for appending; call start() first")
+        entry = {"kind": "record", "fault_id": record.fault.fault_id}
+        for name in RECORD_FIELDS:
+            entry[name] = getattr(record, name, None)
+        self._write(entry)
+
+    def _write(self, entry: dict) -> None:
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the append handle (load/start may be called again later)."""
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.close()
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -30,14 +30,19 @@ class FaultCoverage:
     # ------------------------------------------------------------------
     @property
     def detected_faults(self) -> int:
+        """Number of faults with a recorded detection time."""
         return len(self.detection_times)
 
     def final_coverage(self) -> float:
+        """Detected/total fault ratio at the end of the test (0.0 for an
+        empty campaign)."""
         if self.total_faults == 0:
             return 0.0
         return self.detected_faults / self.total_faults
 
     def final_weighted_coverage(self) -> float:
+        """Occurrence-probability-weighted coverage at the end of the test
+        (falls back to the unweighted ratio without probabilities)."""
         total = sum(self.probabilities.values())
         if total <= 0.0:
             return self.final_coverage()
@@ -47,12 +52,14 @@ class FaultCoverage:
 
     # ------------------------------------------------------------------
     def coverage_at(self, time: float) -> float:
+        """Fraction of faults detected at or before ``time`` [s]."""
         if self.total_faults == 0:
             return 0.0
         detected = sum(1 for t in self.detection_times.values() if t <= time)
         return detected / self.total_faults
 
     def weighted_coverage_at(self, time: float) -> float:
+        """Probability-weighted coverage at or before ``time`` [s]."""
         total = sum(self.probabilities.values())
         if total <= 0.0:
             return self.coverage_at(time)
@@ -61,6 +68,8 @@ class FaultCoverage:
         return covered / total
 
     def curve(self, points: int = 101) -> list[CoveragePoint]:
+        """The coverage curve sampled on ``points`` equidistant times from
+        0 to the end of the test."""
         end = self.end_time or (max(self.detection_times.values(), default=0.0))
         times = np.linspace(0.0, end, points)
         return [CoveragePoint(float(t), self.coverage_at(t),
@@ -91,12 +100,16 @@ class FaultCoverage:
         return None
 
     def fraction_of_test_time_to_coverage(self, target: float) -> float | None:
+        """:meth:`time_to_coverage` expressed as a fraction of the test
+        time (the x axis of Fig. 5); ``None`` when never reached."""
         time = self.time_to_coverage(target)
         if time is None or not self.end_time:
             return None
         return time / self.end_time
 
     def summary(self) -> dict[str, float | None]:
+        """Headline numbers of the campaign (final/weighted coverage and
+        the times to 50/90/99/100 % coverage)."""
         return {
             "total_faults": self.total_faults,
             "detected_faults": self.detected_faults,

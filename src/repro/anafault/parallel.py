@@ -8,15 +8,34 @@ over a local process pool in batches: the fault list is streamed through
 per-fault IPC overhead is amortised over a handful of transients per
 round-trip while the tail of the campaign still load-balances across
 workers.
+
+Two streaming properties keep the IPC and memory cost flat as campaigns
+grow (see ``docs/campaigns.md``):
+
+* the nominal waveforms reach the workers through a
+  :class:`~repro.anafault.streaming.NominalStore` — one shared-memory copy
+  total instead of one pickled copy per worker (with a clean inline
+  fallback), and
+* workers send back compact :class:`~repro.anafault.simulator.\
+FaultSimulationRecord` payloads (verdict, metrics, telemetry — never
+  waveforms), each stamped with its own pickled size so the campaign can
+  report what the IPC actually cost.
+
+:func:`iter_faults_parallel` yields records in fault order *as they
+complete*, which is what lets ``FaultSimulator.run`` append them to a
+checkpoint incrementally instead of only materialising the full list at the
+end.
 """
 
 from __future__ import annotations
 
+import pickle
+
 from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator
 
 from ..lift.faults import Fault
 from ..spice import Circuit
-from ..spice.waveform import Waveform
 
 #: Target number of map batches handed to each worker over a campaign.
 #: Larger values improve tail load-balancing, smaller values cut IPC.
@@ -32,33 +51,88 @@ def campaign_chunksize(num_faults: int, workers: int) -> int:
     return max(1, num_faults // (workers * BATCHES_PER_WORKER))
 
 
-def _init_worker(circuit: Circuit, settings, nominal: dict[str, Waveform]) -> None:
-    """Process-pool initialiser: build one simulator per worker process."""
+def _resolve_nominal(nominal) -> dict:
+    """Waveform dict from either a nominal store or a plain dict."""
+    if hasattr(nominal, "waveforms"):
+        return nominal.waveforms()
+    return nominal
+
+
+def _init_worker(circuit: Circuit, settings, nominal) -> None:
+    """Process-pool initialiser: build one simulator per worker process.
+
+    ``nominal`` is either a :class:`~repro.anafault.streaming.NominalStore`
+    (the worker attaches to the shared segment — the store reference is
+    kept in the worker state so the mapping stays alive as long as the
+    waveform views do) or a plain waveform dict (inline fallback).
+    """
     from .simulator import FaultSimulator
 
     _WORKER_STATE["simulator"] = FaultSimulator.for_worker(circuit, settings)
-    _WORKER_STATE["nominal"] = nominal
+    _WORKER_STATE["store"] = nominal
+    _WORKER_STATE["nominal"] = _resolve_nominal(nominal)
 
 
 def _simulate_one(fault: Fault):
     simulator = _WORKER_STATE["simulator"]
     nominal = _WORKER_STATE["nominal"]
-    return simulator.simulate_fault(fault, nominal)
+    record = simulator.simulate_fault(fault, nominal)
+    # What this record costs to send home.  Setting the field afterwards
+    # perturbs the measured size by a few bytes at most; it is telemetry,
+    # not an invariant.
+    record.payload_bytes = len(pickle.dumps(record))
+    return record
 
 
-def run_faults_parallel(circuit: Circuit, faults: list[Fault], settings,
-                        nominal: dict[str, Waveform], workers: int) -> list:
-    """Simulate ``faults`` on a process pool and return the records in the
-    original fault order."""
+def iter_faults_parallel(circuit: Circuit, faults: list[Fault], settings,
+                         nominal, workers: int) -> Iterator:
+    """Simulate ``faults`` on a process pool, yielding the records in the
+    original fault order as the workers complete them.
+
+    ``nominal`` may be a plain waveform dict or a published nominal store
+    (:func:`repro.anafault.streaming.publish_nominal`); a store is *not*
+    disposed here — its publisher keeps that responsibility.  With
+    ``workers <= 1`` (or a single fault) everything runs in-process and no
+    pool is started.
+    """
     if workers <= 1 or len(faults) <= 1:
         from .simulator import FaultSimulator
 
         simulator = FaultSimulator.for_worker(circuit, settings)
-        return [simulator.simulate_fault(fault, nominal) for fault in faults]
-
+        waveforms = _resolve_nominal(nominal)
+        for fault in faults:
+            yield simulator.simulate_fault(fault, waveforms)
+        return
     workers = min(workers, len(faults))
     with ProcessPoolExecutor(max_workers=workers, initializer=_init_worker,
                              initargs=(circuit, settings, nominal)) as pool:
-        records = list(pool.map(_simulate_one, faults,
-                                chunksize=campaign_chunksize(len(faults), workers)))
-    return records
+        yield from pool.map(_simulate_one, faults,
+                            chunksize=campaign_chunksize(len(faults), workers))
+
+
+def run_faults_parallel(circuit: Circuit, faults: list[Fault], settings,
+                        nominal, workers: int) -> list:
+    """Simulate ``faults`` on a process pool and return the records in the
+    original fault order.
+
+    Convenience wrapper over :func:`iter_faults_parallel`.  When handed a
+    plain waveform dict it publishes (and afterwards disposes) the
+    shared-memory nominal itself, honouring
+    ``settings.use_shared_memory``; pass a ready-made store to manage its
+    lifetime yourself.
+    """
+    store = nominal
+    owned = False
+    if (not hasattr(nominal, "waveforms")
+            and workers > 1 and len(faults) > 1):
+        from .streaming import publish_nominal
+
+        store = publish_nominal(
+            nominal, shared=getattr(settings, "use_shared_memory", True))
+        owned = True
+    try:
+        return list(iter_faults_parallel(circuit, faults, settings, store,
+                                         workers))
+    finally:
+        if owned:
+            store.dispose()

@@ -13,11 +13,16 @@ from .simulator import CampaignResult
 
 
 def format_fault_table(result: CampaignResult, limit: int | None = None) -> str:
-    """Per-fault detection table (the 'detailed report')."""
+    """Per-fault detection table (the 'detailed report').
+
+    Tolerates partially-resumed results: faults without a record (``None``
+    placeholders) are simply absent from the table.
+    """
     lines = [f"{'id':>6} {'fault':<38} {'p':>10} {'status':<12} "
              f"{'t_detect':>10} {'max dev':>8}"]
     lines.append("-" * 92)
-    records = result.records if limit is None else result.records[:limit]
+    live = [r for r in result.records if r is not None]
+    records = live if limit is None else live[:limit]
     for record in records:
         fault = record.fault
         t_detect = ("-" if record.detection_time is None
@@ -25,8 +30,8 @@ def format_fault_table(result: CampaignResult, limit: int | None = None) -> str:
         lines.append(f"{fault.fault_id:>6} {fault.label()[:38]:<38} "
                      f"{fault.probability:>10.2e} {record.status:<12} "
                      f"{t_detect:>10} {record.max_deviation:>7.2f}V")
-    if limit is not None and len(result.records) > limit:
-        lines.append(f"... ({len(result.records) - limit} more faults)")
+    if limit is not None and len(live) > limit:
+        lines.append(f"... ({len(live) - limit} more faults)")
     return "\n".join(lines)
 
 
@@ -34,14 +39,14 @@ def format_overview(result: CampaignResult) -> str:
     """The 'clearly arranged overview table' of the campaign."""
     coverage = result.coverage()
     counts = result.count_by_status()
-    summary = coverage.summary()
-    sim_time = sum(r.elapsed_seconds for r in result.records)
+    telemetry = result.telemetry()
+    sim_time = telemetry["fault_seconds_total"]
     lines = [
         "AnaFAULT campaign overview",
         "=" * 42,
         f"circuit              : {result.fault_list.metadata.get('circuit', '-')}",
         f"fault list           : {result.fault_list.name}",
-        f"faults simulated     : {len(result.records)}",
+        f"faults simulated     : {telemetry['faults']}",
         f"fault model          : {result.settings.fault_model.model}",
         f"observation nodes    : {', '.join(result.settings.observation_nodes)}",
         f"amplitude tolerance  : {result.settings.tolerances.amplitude:g} V",
@@ -65,6 +70,17 @@ def format_overview(result: CampaignResult) -> str:
     lines.append(f"nominal CPU time     : {result.nominal_elapsed_seconds:.2f}s")
     lines.append(f"fault CPU time       : {sim_time:.2f}s")
     lines.append(f"total wall time      : {result.total_elapsed_seconds:.2f}s")
+    engine = "streaming" if telemetry["streaming"] else "full-trace"
+    lines.append(f"campaign engine      : {engine}, "
+                 f"{telemetry['workers']} worker(s), "
+                 f"nominal via {telemetry['nominal_store']}")
+    if telemetry["nominal_ipc_bytes"] or telemetry["record_ipc_bytes_total"]:
+        lines.append(f"IPC payloads         : nominal "
+                     f"{telemetry['nominal_ipc_bytes']} B/worker, records "
+                     f"{telemetry['record_ipc_bytes_total']} B total")
+    if telemetry["checkpoint_skipped"]:
+        lines.append(f"checkpoint           : "
+                     f"{telemetry['checkpoint_skipped']} record(s) resumed")
     return "\n".join(lines)
 
 

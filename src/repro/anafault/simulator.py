@@ -36,7 +36,19 @@ STATUS_INJECTION_FAILED = "injection_failed"
 
 @dataclass
 class CampaignSettings:
-    """Everything needed to run one fault simulation campaign."""
+    """Everything needed to run one fault simulation campaign.
+
+    A settings object travels, as-is, to every process-pool worker of a
+    parallel campaign, and its ``repr`` is part of the campaign fingerprint
+    used to key checkpoints (:func:`repro.anafault.checkpoint.\
+campaign_fingerprint`) — two campaigns resume from the same checkpoint file
+    only when their settings are identical.
+
+    The ``stream_traces`` / ``tail_downsample`` / ``use_shared_memory``
+    trio configures the streaming campaign engine (see
+    ``docs/campaigns.md``); the streaming switches change memory and IPC
+    cost, never verdicts.
+    """
 
     #: Transient stop time [s] (paper: 4 us).
     tstop: float = 4e-6
@@ -59,11 +71,32 @@ class CampaignSettings:
     #: one path (see :mod:`repro.spice.analysis.backends`).  Travels with
     #: the settings to process-pool workers.
     solver_backend: str | None = None
+    #: Observed-node streaming: record only the ``observation_nodes``
+    #: traces in every campaign transient instead of the full
+    #: unknowns x time matrix (``TransientAnalysis(record_nodes=...)``).
+    #: The comparator only ever reads those nodes, so verdicts are
+    #: unaffected; worker trace memory drops proportionally.
+    stream_traces: bool = True
+    #: Opt-in reporting tail when streaming: > 0 additionally keeps *all*
+    #: node voltages at every Nth print point (plus the final one) for
+    #: post-mortem reporting.  0 (default) keeps only the observed nodes.
+    tail_downsample: int = 0
+    #: Publish the nominal waveforms to parallel workers through one
+    #: ``multiprocessing.shared_memory`` segment instead of pickling a copy
+    #: per worker; falls back to the pickled copy automatically where
+    #: shared memory is unavailable.
+    use_shared_memory: bool = True
 
 
 @dataclass
 class FaultSimulationRecord:
-    """Result of simulating one fault."""
+    """Result of simulating one fault.
+
+    This is the complete per-fault payload a parallel worker sends back —
+    verdict, metrics and telemetry, never waveforms — and the unit the
+    checkpoint file persists (one JSON line per record, see
+    :mod:`repro.anafault.checkpoint`).
+    """
 
     fault: Fault
     status: str
@@ -75,15 +108,29 @@ class FaultSimulationRecord:
     #: Linear solves spent by the transient kernel on this fault (workload
     #: telemetry; 0 when the simulation failed before completing).
     newton_iterations: int = 0
+    #: Bytes of trace memory the fault's transient materialised (streaming
+    #: cuts this to the observed nodes; 0 when the simulation failed).
+    trace_bytes: int = 0
+    #: Pickled size of this record — its IPC cost — stamped by the worker;
+    #: 0 for records produced in-process (serial runs, checkpoint reloads).
+    payload_bytes: int = 0
 
     @property
     def detected(self) -> bool:
+        """Whether this fault was classified as detected."""
         return self.status == STATUS_DETECTED
 
 
 @dataclass
 class CampaignResult:
-    """Aggregate result of a fault simulation campaign."""
+    """Aggregate result of a fault simulation campaign.
+
+    Holds the per-fault :class:`FaultSimulationRecord` list (in fault-list
+    order, merged across checkpoint resumes), the nominal waveforms and
+    the campaign-level telemetry.  All aggregation methods tolerate empty
+    and partially-resumed record sets — a campaign interrupted mid-run can
+    always be summarised.
+    """
 
     settings: CampaignSettings
     fault_list: FaultList
@@ -93,18 +140,36 @@ class CampaignResult:
     total_elapsed_seconds: float = 0.0
     #: Kernel statistics of the nominal run (see ``TransientResult.stats``).
     nominal_stats: dict = field(default_factory=dict)
+    #: Records reloaded from a checkpoint instead of being re-simulated.
+    checkpoint_skipped: int = 0
+    #: How the nominal waveforms reached the workers: ``"shared_memory"``,
+    #: ``"inline"`` (pickled per worker), or ``"local"`` (serial run).
+    nominal_store: str = "local"
+    #: Pickled size of the nominal payload one worker received (0 serial).
+    nominal_ipc_bytes: int = 0
+    #: Worker processes the campaign ran with (1 = serial).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
         self._indexed_records = 0
 
+    def _live_records(self) -> list[FaultSimulationRecord]:
+        """Records that exist — a partially-resumed result may carry
+        ``None`` placeholders for faults that never ran."""
+        return [r for r in self.records if r is not None]
+
     # ------------------------------------------------------------------
     def record_for(self, fault_id: int) -> FaultSimulationRecord:
         """Record of one fault id, backed by a lazily built index (the
-        previous linear scan made loops over ids quadratic)."""
+        previous linear scan made loops over ids quadratic).
+
+        Raises :class:`KeyError` (with the offending id in the message)
+        when the campaign has no record for ``fault_id``.
+        """
         if self._indexed_records != len(self.records):
             index: dict[int, FaultSimulationRecord] = {}
-            for record in self.records:
+            for record in self._live_records():
                 # Keep the first record per id, matching the old scan order.
                 index.setdefault(record.fault.fault_id, record)
             self._fault_index = index
@@ -112,24 +177,35 @@ class CampaignResult:
         try:
             return self._fault_index[fault_id]
         except KeyError:
-            raise CampaignError(f"no record for fault id {fault_id}") from None
+            raise KeyError(
+                f"no record for fault id {fault_id} (campaign has records "
+                f"for {len(self._fault_index)} faults)") from None
 
     def detected_ids(self) -> set[int]:
-        return {r.fault.fault_id for r in self.records if r.detected}
+        """Fault ids of the detected records."""
+        return {r.fault.fault_id for r in self._live_records() if r.detected}
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def total_newton_iterations(self) -> int:
         """Linear solves spent across all fault simulations plus nominal."""
-        total = sum(r.newton_iterations for r in self.records)
+        total = sum(int(r.newton_iterations or 0)
+                    for r in self._live_records())
         return total + int(self.nominal_stats.get("newton_iterations", 0))
 
     def telemetry(self) -> dict:
-        """Per-campaign workload summary built from the per-record data."""
-        elapsed = [r.elapsed_seconds for r in self.records]
-        iterations = [r.newton_iterations for r in self.records]
-        count = len(self.records)
+        """Per-campaign workload summary built from the per-record data.
+
+        Safe on empty and partially-resumed record sets (all aggregates
+        degrade to zero).  See ``docs/campaigns.md`` for the field
+        reference.
+        """
+        records = self._live_records()
+        elapsed = [float(r.elapsed_seconds or 0.0) for r in records]
+        iterations = [int(r.newton_iterations or 0) for r in records]
+        payloads = [int(r.payload_bytes or 0) for r in records]
+        count = len(records)
         return {
             "faults": count,
             "solver_backend": self.nominal_stats.get("solver_backend",
@@ -142,31 +218,54 @@ class CampaignResult:
             "newton_iterations_total": self.total_newton_iterations(),
             "newton_iterations_mean": (sum(iterations) / count) if count else 0.0,
             "newton_iterations_max": max(iterations, default=0),
+            "workers": self.workers,
+            "streaming": bool(getattr(self.settings, "stream_traces", False)),
+            "nominal_store": self.nominal_store,
+            "nominal_ipc_bytes": self.nominal_ipc_bytes,
+            "record_ipc_bytes_total": sum(payloads),
+            "record_ipc_bytes_mean": sum(payloads) / count if count else 0.0,
+            "trace_bytes_max": max((int(r.trace_bytes or 0) for r in records),
+                                   default=0),
+            "checkpoint_skipped": self.checkpoint_skipped,
         }
 
     def count_by_status(self) -> dict[str, int]:
+        """Record count per status string (empty dict for no records)."""
         counts: dict[str, int] = {}
-        for record in self.records:
-            counts[record.status] = counts.get(record.status, 0) + 1
+        for record in self._live_records():
+            status = record.status or "unknown"
+            counts[status] = counts.get(status, 0) + 1
         return counts
 
     def coverage(self) -> FaultCoverage:
+        """Coverage curve data derived from the per-fault detection times."""
+        records = self._live_records()
         detection_times = {r.fault.fault_id: r.detection_time
-                           for r in self.records
+                           for r in records
                            if r.detected and r.detection_time is not None}
         probabilities = {r.fault.fault_id: r.fault.probability
-                         for r in self.records}
-        return FaultCoverage(total_faults=len(self.records),
+                         for r in records}
+        return FaultCoverage(total_faults=len(records),
                              detection_times=detection_times,
                              probabilities=probabilities,
                              end_time=self.settings.tstop)
 
     def fault_coverage(self) -> float:
+        """Final (unweighted) fault coverage in [0, 1]."""
         return self.coverage().final_coverage()
 
 
 class FaultSimulator:
-    """Run a fault simulation campaign for one circuit and fault list."""
+    """Run a fault simulation campaign for one circuit and fault list.
+
+    The campaign manager of the reproduction: runs (and caches) the nominal
+    transient, then injects/simulates/classifies every fault of the list —
+    serially or over a process pool (``run(workers=N)``) with the
+    shared-memory nominal store and observed-node streaming configured by
+    the :class:`CampaignSettings`, optionally appending every finished
+    record to a resumable checkpoint (``run(checkpoint=path)``).  See
+    ``docs/campaigns.md`` for the engine walk-through.
+    """
 
     def __init__(self, circuit: Circuit, fault_list: FaultList | None,
                  settings: CampaignSettings | None = None,
@@ -199,11 +298,18 @@ class FaultSimulator:
     # ------------------------------------------------------------------
     def _run_transient(self, circuit: Circuit) -> tuple[dict[str, Waveform], dict]:
         settings = self.settings
+        streaming = bool(getattr(settings, "stream_traces", False))
         analysis = TransientAnalysis(
             circuit, tstop=settings.tstop, tstep=settings.tstep,
             options=settings.simulator_options, use_ic=settings.use_ic,
             initial_conditions=settings.initial_conditions,
-            solver_backend=settings.solver_backend)
+            solver_backend=settings.solver_backend,
+            # Observed-node streaming: the comparator only ever reads the
+            # observation nodes, so nothing else needs to be materialised.
+            record_nodes=settings.observation_nodes if streaming else None,
+            tail_downsample=(getattr(settings, "tail_downsample", 0)
+                             if streaming else 0),
+            record_currents=not streaming)
         result = analysis.run()
         waveforms = {}
         for node in settings.observation_nodes:
@@ -211,7 +317,8 @@ class FaultSimulator:
         return waveforms, result.stats
 
     def run_nominal(self) -> dict[str, Waveform]:
-        """Run (and cache) the fault-free simulation."""
+        """Run (and cache) the fault-free simulation; returns the observed
+        waveforms the comparator will reference."""
         start = _time.perf_counter()
         nominal, self._nominal_stats = self._run_transient(self.circuit)
         self._nominal_elapsed = _time.perf_counter() - start
@@ -219,7 +326,8 @@ class FaultSimulator:
 
     def simulate_fault(self, fault: Fault,
                        nominal: dict[str, Waveform]) -> FaultSimulationRecord:
-        """Inject, simulate and classify a single fault."""
+        """Inject, simulate and classify a single fault against ``nominal``
+        (the observed waveform dict from :meth:`run_nominal`)."""
         start = _time.perf_counter()
         try:
             faulty_circuit = self.injector.inject(fault)
@@ -237,6 +345,7 @@ class FaultSimulator:
                 fault, status, detection_time=detection, message=str(exc),
                 elapsed_seconds=_time.perf_counter() - start)
         iterations = int(stats.get("newton_iterations", 0))
+        trace_bytes = int(stats.get("trace_bytes", 0))
         comparison: DetectionResult = self._comparator.compare_many(nominal, faulty)
         elapsed = _time.perf_counter() - start
         if comparison.detected:
@@ -244,47 +353,153 @@ class FaultSimulator:
                 fault, STATUS_DETECTED, detection_time=comparison.detection_time,
                 detected_on=comparison.signal,
                 max_deviation=comparison.max_deviation, elapsed_seconds=elapsed,
-                newton_iterations=iterations)
+                newton_iterations=iterations, trace_bytes=trace_bytes)
         return FaultSimulationRecord(
             fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
-            elapsed_seconds=elapsed, newton_iterations=iterations)
+            elapsed_seconds=elapsed, newton_iterations=iterations,
+            trace_bytes=trace_bytes)
 
     # ------------------------------------------------------------------
-    def run(self, workers: int = 1,
-            progress_callback=None) -> CampaignResult:
+    @staticmethod
+    def _record_from_checkpoint(fault: Fault,
+                                payload: dict) -> FaultSimulationRecord:
+        """Rebuild a record from its checkpoint JSON payload; the fault
+        object itself comes from the campaign's own fault list."""
+        return FaultSimulationRecord(
+            fault=fault,
+            status=str(payload.get("status") or STATUS_SIM_FAILED),
+            detection_time=payload.get("detection_time"),
+            detected_on=str(payload.get("detected_on") or ""),
+            max_deviation=float(payload.get("max_deviation") or 0.0),
+            elapsed_seconds=float(payload.get("elapsed_seconds") or 0.0),
+            message=str(payload.get("message") or ""),
+            newton_iterations=int(payload.get("newton_iterations") or 0),
+            trace_bytes=int(payload.get("trace_bytes") or 0),
+            # payload_bytes stays 0: nothing crossed IPC for a reloaded
+            # record, and telemetry reports what *this* run paid.
+            payload_bytes=0)
+
+    def run(self, workers: int = 1, progress_callback=None,
+            checkpoint=None) -> CampaignResult:
         """Run the whole campaign.
 
         ``workers > 1`` distributes fault simulations over a process pool
         (section II mentions the workstation-cluster parallelisation of
-        AnaFAULT; fault-level parallelism is embarrassingly parallel).
+        AnaFAULT; fault-level parallelism is embarrassingly parallel),
+        publishing the nominal waveforms once through shared memory when
+        ``settings.use_shared_memory`` allows.
+
+        ``checkpoint`` (a path or a
+        :class:`~repro.anafault.checkpoint.CampaignCheckpoint`) persists
+        every finished record as it completes and, on a restart with the
+        same circuit + fault list + settings, skips the fault ids already
+        on disk — the merged result is indistinguishable from an
+        uninterrupted run (timing telemetry aside).  A checkpoint written
+        by a *different* campaign raises
+        :class:`~repro.errors.CampaignError` instead of mixing results.
+
+        ``progress_callback(done, total, record)`` is invoked after every
+        newly simulated fault (serial and parallel).
         """
         if not len(self.fault_list):
             raise CampaignError("the fault list is empty")
         start = _time.perf_counter()
+
+        faults = list(self.fault_list)
+        checkpoint_store = None
+        fingerprint = ""
+        completed: dict[int, dict] = {}
+        if checkpoint is not None:
+            from .checkpoint import CampaignCheckpoint, campaign_fingerprint
+
+            checkpoint_store = (
+                checkpoint if isinstance(checkpoint, CampaignCheckpoint)
+                else CampaignCheckpoint(checkpoint))
+            ids = [fault.fault_id for fault in faults]
+            if len(set(ids)) != len(ids):
+                raise CampaignError(
+                    "checkpointing needs unique fault ids to key records; "
+                    "merge the fault list first (merge_equivalent())")
+            fingerprint = campaign_fingerprint(self.circuit, self.fault_list,
+                                               self.settings)
+            completed = checkpoint_store.load(fingerprint)
+
         nominal = self.run_nominal()
+        # ``workers`` is updated to the pool size actually used if the
+        # parallel branch runs (a fully-resumed campaign stays serial even
+        # when more workers were requested).
         result = CampaignResult(settings=self.settings,
                                 fault_list=self.fault_list,
                                 nominal=nominal,
                                 nominal_elapsed_seconds=self._nominal_elapsed,
-                                nominal_stats=dict(self._nominal_stats))
-        if workers <= 1:
-            for index, fault in enumerate(self.fault_list, start=1):
-                record = self.simulate_fault(fault, nominal)
-                result.records.append(record)
-                if progress_callback is not None:
-                    progress_callback(index, len(self.fault_list), record)
-        else:
-            from .parallel import run_faults_parallel
+                                nominal_stats=dict(self._nominal_stats),
+                                workers=1)
 
-            result.records = run_faults_parallel(
-                self.circuit, list(self.fault_list), self.settings, nominal,
-                workers)
+        records: list[FaultSimulationRecord | None] = [None] * len(faults)
+        pending: list[int] = []
+        for index, fault in enumerate(faults):
+            payload = completed.get(fault.fault_id)
+            if payload is None:
+                pending.append(index)
+            else:
+                records[index] = self._record_from_checkpoint(fault, payload)
+        result.checkpoint_skipped = len(faults) - len(pending)
+
+        done = len(faults) - len(pending)
+        try:
+            if checkpoint_store is not None:
+                checkpoint_store.start(fingerprint,
+                                       campaign=self.fault_list.name)
+            if workers <= 1 or len(pending) <= 1:
+                for index in pending:
+                    record = self.simulate_fault(faults[index], nominal)
+                    records[index] = record
+                    if checkpoint_store is not None:
+                        checkpoint_store.append(record)
+                    done += 1
+                    if progress_callback is not None:
+                        progress_callback(done, len(faults), record)
+            else:
+                from .parallel import iter_faults_parallel
+                from .streaming import publish_nominal
+
+                result.workers = min(workers, len(pending))
+                store = publish_nominal(
+                    nominal,
+                    shared=getattr(self.settings, "use_shared_memory", True))
+                try:
+                    result.nominal_store = store.kind
+                    result.nominal_ipc_bytes = store.payload_bytes()
+                    stream = iter_faults_parallel(
+                        self.circuit, [faults[i] for i in pending],
+                        self.settings, store, workers)
+                    try:
+                        for index, record in zip(pending, stream):
+                            records[index] = record
+                            if checkpoint_store is not None:
+                                checkpoint_store.append(record)
+                            done += 1
+                            if progress_callback is not None:
+                                progress_callback(done, len(faults), record)
+                    finally:
+                        # zip() leaves the generator suspended inside its
+                        # pool context; close it so the pool shuts down
+                        # before the shared segment is unlinked.
+                        stream.close()
+                finally:
+                    store.dispose()
+        finally:
+            if checkpoint_store is not None:
+                checkpoint_store.close()
+        result.records = records
         result.total_elapsed_seconds = _time.perf_counter() - start
         return result
 
 
 def run_campaign(circuit: Circuit, fault_list: FaultList,
                  settings: CampaignSettings | None = None,
-                 workers: int = 1) -> CampaignResult:
-    """Convenience wrapper: build a :class:`FaultSimulator` and run it."""
-    return FaultSimulator(circuit, fault_list, settings).run(workers=workers)
+                 workers: int = 1, checkpoint=None) -> CampaignResult:
+    """Convenience wrapper: build a :class:`FaultSimulator` and run it
+    (``workers``/``checkpoint`` forwarded to :meth:`FaultSimulator.run`)."""
+    return FaultSimulator(circuit, fault_list, settings).run(
+        workers=workers, checkpoint=checkpoint)

@@ -38,11 +38,18 @@ class TransientResult:
 
     def __init__(self, time: np.ndarray, node_traces: dict[str, np.ndarray],
                  branch_traces: dict[str, np.ndarray] | None = None,
-                 stats: dict | None = None):
+                 stats: dict | None = None,
+                 tail_time: np.ndarray | None = None,
+                 tail_traces: dict[str, np.ndarray] | None = None):
         self.time = np.asarray(time, dtype=float)
         self._nodes = node_traces
         self._branches = branch_traces or {}
         self.stats = dict(stats or {})
+        #: Print times of the downsampled reporting tail (streaming runs
+        #: with ``tail_downsample``; ``None`` otherwise).
+        self.tail_time = (None if tail_time is None
+                          else np.asarray(tail_time, dtype=float))
+        self._tail = tail_traces or {}
 
     @staticmethod
     def _canonical(signal: str) -> str:
@@ -69,6 +76,10 @@ class TransientResult:
         if key in self._branches:
             return Waveform(self.time, self._branches[key], name=f"i({key})",
                             unit="A")
+        if key in self._tail:
+            # Streaming run: the node was not selected for full-resolution
+            # recording but is available on the downsampled reporting tail.
+            return Waveform(self.tail_time, self._tail[key], name=f"v({key})")
         raise AnalysisError(f"no recorded signal named {signal!r}")
 
     def current(self, device_name: str) -> Waveform:
@@ -112,6 +123,21 @@ class TransientAnalysis:
         size), ``"dense"`` or ``"sparse"``; see
         :mod:`repro.spice.analysis.backends`.  The backend actually used is
         recorded in ``TransientResult.stats["solver_backend"]``.
+    record_nodes:
+        ``None`` (default) records every node and — subject to
+        ``record_currents`` — every branch current, materialising the full
+        unknowns × time trace matrix.  A sequence of node names switches to
+        *observed-node streaming*: only those nodes are recorded at print
+        resolution, cutting trace memory from ``O(size × points)`` to
+        ``O(observed × points)`` (the campaign layer uses this for its
+        comparator nodes).  Unknown node names raise
+        :class:`~repro.errors.AnalysisError` up front.
+    tail_downsample:
+        Opt-in reporting tail for streaming runs: when ``record_nodes`` is
+        given and this is > 0, *all* node voltages are additionally kept at
+        every ``tail_downsample``-th print point (plus the final one),
+        retrievable through :meth:`TransientResult.waveform` at the reduced
+        resolution.  Ignored when ``record_nodes`` is ``None``.
 
     Fully linear circuits (R/C/L plus independent and linear controlled
     sources) bypass Newton iteration entirely: each distinct internal step
@@ -125,11 +151,15 @@ class TransientAnalysis:
                  use_ic: bool = False,
                  initial_conditions: dict[str, float] | None = None,
                  record_currents: bool = True,
-                 solver_backend: str | None = None):
+                 solver_backend: str | None = None,
+                 record_nodes=None,
+                 tail_downsample: int = 0):
         if tstop <= 0.0 or tstep <= 0.0:
             raise AnalysisError("tstop and tstep must be positive")
         if tstep > tstop:
             raise AnalysisError("tstep must not exceed tstop")
+        if tail_downsample < 0:
+            raise AnalysisError("tail_downsample must be >= 0")
         self.circuit = circuit
         self.tstop = float(tstop)
         self.tstep = float(tstep)
@@ -138,6 +168,9 @@ class TransientAnalysis:
         self.initial_conditions = dict(initial_conditions or {})
         self.record_currents = record_currents
         self.solver_backend = solver_backend
+        self.record_nodes = (None if record_nodes is None
+                             else tuple(record_nodes))
+        self.tail_downsample = int(tail_downsample)
 
     # ------------------------------------------------------------------
     def _initial_solution(self, builder: MNABuilder) -> np.ndarray:
@@ -208,9 +241,26 @@ class TransientAnalysis:
 
         times = self.print_grid()
         num_outputs = len(times)
-        # One row per print point; node/branch traces are column views.
-        data = np.zeros((num_outputs, builder.size))
-        data[0] = state.x
+        select = self._recorded_columns(builder)
+        if select is None:
+            # One row per print point; node/branch traces are column views.
+            data = np.zeros((num_outputs, builder.size))
+        else:
+            # Observed-node streaming: keep only the selected columns.
+            data = np.zeros((num_outputs, len(select[0])))
+        tail_rows: dict[int, int] = {}
+        tail_data = None
+        if select is not None and self.tail_downsample > 0:
+            # Downsampled full-width tail for reporting: every Nth print
+            # point plus the final one.
+            rows = list(range(0, num_outputs, self.tail_downsample))
+            if rows[-1] != num_outputs - 1:
+                rows.append(num_outputs - 1)
+            tail_rows = {print_index: row for row, print_index in
+                         enumerate(rows)}
+            tail_data = np.zeros((len(rows), builder.size))
+            tail_data[0] = state.x
+        data[0] = state.x if select is None else state.x[select[0]]
 
         use_trap = options.integration.lower().startswith("trap")
         min_step = self.tstep * options.min_step_fraction
@@ -274,15 +324,33 @@ class TransientAnalysis:
                 # sub-step leaves the adaptive step untouched).
                 if dt >= step and step < self.tstep:
                     step = min(step * 2.0, self.tstep)
-            data[output_index] = state.x
+            data[output_index] = (state.x if select is None
+                                  else state.x[select[0]])
+            if tail_data is not None and output_index in tail_rows:
+                tail_data[tail_rows[output_index]] = state.x
 
-        node_traces = {name: data[:, index]
-                       for name, index in builder.node_index.items()}
-        branch_traces = {}
-        if self.record_currents:
-            branch_traces = {device.name.lower(): data[:, device.branch_index]
-                             for device in builder.devices
-                             if device.branch_count() > 0}
+        if select is None:
+            node_traces = {name: data[:, index]
+                           for name, index in builder.node_index.items()}
+            branch_traces = {}
+            if self.record_currents:
+                branch_traces = {device.name.lower():
+                                 data[:, device.branch_index]
+                                 for device in builder.devices
+                                 if device.branch_count() > 0}
+        else:
+            node_traces = {}
+            branch_traces = {}
+            for column, (name, is_branch) in enumerate(select[1]):
+                target = branch_traces if is_branch else node_traces
+                target[name] = data[:, column]
+        tail_time = None
+        tail_traces = None
+        if tail_data is not None:
+            tail_time = times[sorted(tail_rows)]
+            tail_traces = {name: tail_data[:, index]
+                           for name, index in builder.node_index.items()
+                           if name not in node_traces}
 
         stats = {
             "newton_iterations": newton_iterations,
@@ -291,8 +359,48 @@ class TransientAnalysis:
             "linear_bypass": linear,
             "solver_backend": builder.backend.name,
             "matrix_size": builder.size,
+            "recorded_nodes": (data.shape[1] if select is not None
+                               else len(builder.node_index)),
+            "trace_bytes": int(data.nbytes) + (0 if tail_data is None
+                                               else int(tail_data.nbytes)),
         }
-        return TransientResult(times, node_traces, branch_traces, stats=stats)
+        return TransientResult(times, node_traces, branch_traces, stats=stats,
+                               tail_time=tail_time, tail_traces=tail_traces)
+
+    def _recorded_columns(self, builder: MNABuilder):
+        """Resolve ``record_nodes`` to ``(column indices, [(name,
+        is_branch)])`` or ``None`` for full recording.
+
+        Names resolve against the node index first, then against device
+        branch currents (so a campaign observing a source current keeps
+        working under streaming).  Ground is dropped silently (it is
+        synthesised by :meth:`TransientResult.waveform`); any other unknown
+        signal is an error now rather than after the whole run.
+        """
+        if self.record_nodes is None:
+            return None
+        branch_columns = {device.name.lower(): device.branch_index
+                          for device in builder.devices
+                          if device.branch_count() > 0}
+        indices: list[int] = []
+        names: list[tuple[str, bool]] = []
+        seen: set[str] = set()
+        for node in self.record_nodes:
+            key = normalize_node(str(node))
+            if key == GROUND or key in seen:
+                continue
+            if key in builder.node_index:
+                indices.append(builder.node_index[key])
+                names.append((key, False))
+            elif key in branch_columns:
+                indices.append(branch_columns[key])
+                names.append((key, True))
+            else:
+                raise AnalysisError(
+                    f"record_nodes names unknown signal {node!r} "
+                    f"(circuit has {len(builder.node_index)} nodes)")
+            seen.add(key)
+        return np.asarray(indices, dtype=int), names
 
     # ------------------------------------------------------------------
     def _solve_linear_step(self, builder: MNABuilder, state: SimState,

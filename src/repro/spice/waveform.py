@@ -41,6 +41,30 @@ class Waveform:
     def __iter__(self):
         return iter(zip(self.x, self.y))
 
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the sample data (both axes) in bytes.
+
+        Note this counts x *and* y; the kernel's ``stats["trace_bytes"]``
+        telemetry counts only the trace matrix (y columns), so the two
+        measures differ by the shared time axis.
+        """
+        return int(self.x.nbytes) + int(self.y.nbytes)
+
+    def downsample(self, every: int) -> "Waveform":
+        """Every ``every``-th sample plus the final one (reporting tails).
+
+        Keeps the end point so ``final_value()`` and detection checks near
+        ``tstop`` survive the decimation.
+        """
+        if every <= 1 or self.x.size <= 2:
+            return Waveform(self.x, self.y, self.name, self.unit, self.x_unit)
+        keep = np.arange(0, self.x.size, every)
+        if keep[-1] != self.x.size - 1:
+            keep = np.append(keep, self.x.size - 1)
+        return Waveform(self.x[keep], self.y[keep], self.name, self.unit,
+                        self.x_unit)
+
     def value_at(self, x: float) -> float:
         """Linearly interpolated value at ``x`` (clamped at the ends)."""
         if self.x.size == 0:

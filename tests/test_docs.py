@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import doctest
 import importlib
+import inspect
 import pathlib
 import re
 
@@ -82,6 +83,37 @@ def test_docs_exist():
     assert (ROOT / "README.md").is_file()
     assert (ROOT / "docs" / "architecture.md").is_file()
     assert (ROOT / "docs" / "solver-backends.md").is_file()
+    assert (ROOT / "docs" / "campaigns.md").is_file()
+
+
+def test_public_anafault_api_documented():
+    """Every public name of ``repro.anafault`` must carry a docstring.
+
+    Guards the campaign layer's API docs against rot: a class or function
+    added to ``__all__`` without documentation fails here.  String/number
+    constants (status values, default resistances) have no ``__doc__`` of
+    their own and are skipped.
+    """
+    anafault = importlib.import_module("repro.anafault")
+    undocumented = []
+    for name in anafault.__all__:
+        obj = getattr(anafault, name)  # missing names raise AttributeError
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if not (inspect.getdoc(obj) or "").strip():
+            undocumented.append(name)
+        if inspect.isclass(obj):
+            for member_name, member in vars(obj).items():
+                if member_name.startswith("_"):
+                    continue
+                if isinstance(member, property):
+                    member = member.fget
+                if not callable(member):
+                    continue
+                if not (inspect.getdoc(member) or "").strip():
+                    undocumented.append(f"{name}.{member_name}")
+    assert not undocumented, (
+        f"public repro.anafault names without docstrings: {undocumented}")
 
 
 def test_relative_links_resolve(doc):
@@ -140,10 +172,14 @@ def test_pycon_blocks_run_as_doctests(doc):
         pytest.skip(f"{path.name} has no pycon blocks")
     parser = doctest.DocTestParser()
     runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    # All pycon blocks of one document run in a single shared session, the
+    # way a reader following the document top to bottom would type them.
+    globs: dict = {}
     for index, code in pycon:
-        test = parser.get_doctest(code, {}, f"{path.name}[block {index}]",
+        test = parser.get_doctest(code, globs, f"{path.name}[block {index}]",
                                   str(path), 0)
         runner.run(test, clear_globs=False)
+        globs.update(test.globs)  # get_doctest copies; carry names forward
     assert runner.failures == 0, (
         f"{path.name}: {runner.failures} doctest failure(s); run "
         "`python -m doctest` on the failing block for details")

@@ -202,7 +202,8 @@ class TestCampaignLayer:
         result = FaultSimulator(rc_circuit, self._fault_list(),
                                 self._settings()).run()
         assert result.record_for(2).fault.fault_id == 2
-        with pytest.raises(CampaignError):
+        # A missing id raises KeyError naming the id (dict-like contract).
+        with pytest.raises(KeyError, match="fault id 999"):
             result.record_for(999)
         # Appending a record invalidates the lazy index.
         extra = FaultSimulationRecord(BridgingFault(99, net_a="in",
