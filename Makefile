@@ -1,0 +1,28 @@
+# Entry points shared by developers and CI (.github/workflows/ci.yml).
+# The package runs straight from src/ -- no build step, PYTHONPATH does
+# the wiring.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench bench-smoke docs-check lint
+
+## tier-1 test suite (the gate every change must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## full benchmark/figure regeneration (minutes; rewrites benchmarks/results/)
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## CI smoke pass over every benchmark (shrunk workloads, same pipeline)
+bench-smoke:
+	BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/ -q
+
+## docs-rot check only (links, paths, dotted names, doctests)
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q
+
+## lint with the committed configuration (needs ruff installed)
+lint:
+	ruff check .

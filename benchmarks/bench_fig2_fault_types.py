@@ -7,7 +7,6 @@ which AnaFAULT also supports) into the VCO and simulates a shortened
 transient, verifying that every class is injectable and simulatable.
 """
 
-import pytest
 
 from repro.anafault import inject_fault
 from repro.circuits import OUTPUT_NODE

@@ -9,7 +9,6 @@ frequency-changing representative is the Schmitt-internal bridge 9-0) and
 regenerates the three waveforms.
 """
 
-import pytest
 
 from repro.anafault import FaultInjector
 from repro.circuits import OUTPUT_NODE, nominal_transient_settings

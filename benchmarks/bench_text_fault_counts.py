@@ -6,7 +6,7 @@ gate-drain short), and a LIFT-extracted list of 70 faults (55 bridging,
 8 line opens, 7 transistor stuck open) -- a reduction of 53 %.
 """
 
-from repro.lift import count_schematic_faults, schematic_fault_list
+from repro.lift import count_schematic_faults
 
 
 def test_text_fault_counts(benchmark, vco_pair, cat_extraction, record):

@@ -42,7 +42,7 @@ CHECKPOINT_VERSION = 1
 #: ``payload_bytes``, which reports per-run IPC cost and never round-trips).
 RECORD_FIELDS = ("status", "detection_time", "detected_on", "max_deviation",
                  "elapsed_seconds", "message", "newton_iterations",
-                 "trace_bytes")
+                 "steps_accepted", "steps_rejected", "trace_bytes")
 
 #: Settings fields excluded from the fingerprint: they configure how the
 #: engine spends memory and IPC, never what is simulated, so toggling them
@@ -52,15 +52,41 @@ VERDICT_NEUTRAL_SETTINGS = ("stream_traces", "use_shared_memory",
                             "tail_downsample")
 
 
+def _legacy_neutral_defaults() -> dict:
+    """Settings fields that are omitted from the fingerprint while they
+    hold their default value.
+
+    These fields were added after checkpoints already existed in the wild,
+    and their defaults reproduce the pre-existing behaviour bit for bit
+    (``TransientOptions()`` *is* the legacy fixed-step driver).  Skipping
+    them at the default keeps old checkpoints resumable across the
+    upgrade; any non-default value still changes what is simulated and
+    therefore the fingerprint.  Consequence: the defaults of the listed
+    fields are frozen — changing them silently would let a checkpoint
+    resume under different simulation semantics.
+    """
+    from ..spice import TransientOptions
+
+    return {"timestep": TransientOptions()}
+
+
 def _settings_text(settings) -> str:
     """Deterministic settings serialisation for fingerprinting, with the
-    verdict-neutral engine knobs left out."""
+    verdict-neutral engine knobs left out and later-added fields omitted
+    while they hold their (behaviour-preserving) defaults."""
     try:
         fields = dataclasses.fields(settings)
     except TypeError:  # not a dataclass; fall back to the full repr
         return repr(settings)
-    parts = [f"{f.name}={getattr(settings, f.name)!r}" for f in fields
-             if f.name not in VERDICT_NEUTRAL_SETTINGS]
+    defaults = _legacy_neutral_defaults()
+    parts = []
+    for f in fields:
+        if f.name in VERDICT_NEUTRAL_SETTINGS:
+            continue
+        value = getattr(settings, f.name)
+        if f.name in defaults and value == defaults[f.name]:
+            continue
+        parts.append(f"{f.name}={value!r}")
     return ", ".join(parts)
 
 

@@ -20,7 +20,8 @@ from dataclasses import dataclass, field, replace
 from ..errors import CampaignError, ConvergenceError, SingularMatrixError
 from ..lift.faultlist import FaultList
 from ..lift.faults import Fault
-from ..spice import Circuit, SimulationOptions, TransientAnalysis
+from ..spice import (Circuit, SimulationOptions, TransientAnalysis,
+                     TransientOptions)
 from ..spice.waveform import Waveform
 from .comparator import DetectionResult, ToleranceSettings, WaveformComparator
 from .coverage import FaultCoverage
@@ -71,6 +72,15 @@ campaign_fingerprint`) — two campaigns resume from the same checkpoint file
     #: one path (see :mod:`repro.spice.analysis.backends`).  Travels with
     #: the settings to process-pool workers.
     solver_backend: str | None = None
+    #: Timestep-control policy for every transient of the campaign
+    #: (:class:`~repro.spice.TransientOptions`).  The default pins the
+    #: fixed-step legacy mode: fixed stepping is bit-reproducible run to
+    #: run, which checkpoint resume relies on for record-identical merges.
+    #: Campaigns that opt into ``TransientOptions(mode="adaptive")`` get
+    #: the LTE-controlled integrator (see ``docs/integration.md``); the
+    #: timestep options are part of the campaign fingerprint, so a
+    #: checkpoint never silently mixes the two.
+    timestep: TransientOptions = field(default_factory=TransientOptions)
     #: Observed-node streaming: record only the ``observation_nodes``
     #: traces in every campaign transient instead of the full
     #: unknowns x time matrix (``TransientAnalysis(record_nodes=...)``).
@@ -108,6 +118,10 @@ class FaultSimulationRecord:
     #: Linear solves spent by the transient kernel on this fault (workload
     #: telemetry; 0 when the simulation failed before completing).
     newton_iterations: int = 0
+    #: Internal timestep-controller counters of the fault's transient
+    #: (accepted / rejected sub-steps; 0 when the simulation failed).
+    steps_accepted: int = 0
+    steps_rejected: int = 0
     #: Bytes of trace memory the fault's transient materialised (streaming
     #: cuts this to the observed nodes; 0 when the simulation failed).
     trace_bytes: int = 0
@@ -210,6 +224,16 @@ class CampaignResult:
             "faults": count,
             "solver_backend": self.nominal_stats.get("solver_backend",
                                                      "dense"),
+            "timestep_mode": self.nominal_stats.get("timestep_mode",
+                                                    "fixed"),
+            "steps_accepted_total": sum(
+                int(r.steps_accepted or 0) for r in records)
+                + int(self.nominal_stats.get("steps_accepted", 0)),
+            "steps_rejected_total": sum(
+                int(r.steps_rejected or 0) for r in records)
+                + int(self.nominal_stats.get("steps_rejected", 0)),
+            "dt_min": float(self.nominal_stats.get("dt_min", 0.0)),
+            "dt_max": float(self.nominal_stats.get("dt_max", 0.0)),
             "nominal_elapsed_seconds": self.nominal_elapsed_seconds,
             "total_elapsed_seconds": self.total_elapsed_seconds,
             "fault_seconds_total": sum(elapsed),
@@ -309,7 +333,8 @@ class FaultSimulator:
             record_nodes=settings.observation_nodes if streaming else None,
             tail_downsample=(getattr(settings, "tail_downsample", 0)
                              if streaming else 0),
-            record_currents=not streaming)
+            record_currents=not streaming,
+            timestep=getattr(settings, "timestep", None))
         result = analysis.run()
         waveforms = {}
         for node in settings.observation_nodes:
@@ -346,6 +371,8 @@ class FaultSimulator:
                 elapsed_seconds=_time.perf_counter() - start)
         iterations = int(stats.get("newton_iterations", 0))
         trace_bytes = int(stats.get("trace_bytes", 0))
+        steps_accepted = int(stats.get("steps_accepted", 0))
+        steps_rejected = int(stats.get("steps_rejected", 0))
         comparison: DetectionResult = self._comparator.compare_many(nominal, faulty)
         elapsed = _time.perf_counter() - start
         if comparison.detected:
@@ -353,11 +380,13 @@ class FaultSimulator:
                 fault, STATUS_DETECTED, detection_time=comparison.detection_time,
                 detected_on=comparison.signal,
                 max_deviation=comparison.max_deviation, elapsed_seconds=elapsed,
-                newton_iterations=iterations, trace_bytes=trace_bytes)
+                newton_iterations=iterations, trace_bytes=trace_bytes,
+                steps_accepted=steps_accepted, steps_rejected=steps_rejected)
         return FaultSimulationRecord(
             fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
             elapsed_seconds=elapsed, newton_iterations=iterations,
-            trace_bytes=trace_bytes)
+            trace_bytes=trace_bytes, steps_accepted=steps_accepted,
+            steps_rejected=steps_rejected)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -374,6 +403,8 @@ class FaultSimulator:
             elapsed_seconds=float(payload.get("elapsed_seconds") or 0.0),
             message=str(payload.get("message") or ""),
             newton_iterations=int(payload.get("newton_iterations") or 0),
+            steps_accepted=int(payload.get("steps_accepted") or 0),
+            steps_rejected=int(payload.get("steps_rejected") or 0),
             trace_bytes=int(payload.get("trace_bytes") or 0),
             # payload_bytes stays 0: nothing crossed IPC for a reloaded
             # record, and telemetry reports what *this* run paid.

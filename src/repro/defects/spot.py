@@ -18,7 +18,7 @@ import numpy as np
 from ..extract.connectivity import ConnectivityResult
 from ..layout.geometry import Rect
 from ..layout.layout import Layout
-from .statistics import OPEN, SHORT, DefectSizeDistribution, DefectStatistics
+from .statistics import SHORT, DefectSizeDistribution, DefectStatistics
 
 
 @dataclass

@@ -45,6 +45,18 @@ class ConvergenceError(AnalysisError):
         self.worst_node = worst_node
 
 
+class TransientError(ConvergenceError):
+    """The transient timestep controller gave up.
+
+    Raised when the internal step has been driven down to the ``dt_min``
+    floor and the step still cannot be accepted (Newton failure or a local
+    truncation error above tolerance).  The message names the time point,
+    the floor and the last LTE ratio so the failing region can be found.
+    Subclasses :class:`ConvergenceError`, so campaign code that classifies
+    non-convergent faults keeps working unchanged.
+    """
+
+
 class SingularMatrixError(AnalysisError):
     """The MNA matrix is singular (floating node, voltage-source loop, ...)."""
 

@@ -28,8 +28,6 @@ from ..layout.layers import (
     DIFFUSION_LAYERS,
     METAL1,
     METAL2,
-    NDIFF,
-    PDIFF,
     POLY,
     VIA,
     Layer,

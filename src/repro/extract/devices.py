@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..errors import ExtractionError
 from ..layout.geometry import Rect
-from ..layout.layers import METAL1, NDIFF, PDIFF, POLY
+from ..layout.layers import METAL1, NDIFF, POLY
 from ..layout.layout import Layout
 from .connectivity import ChannelRegion, ConnectivityResult
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from ..errors import LayoutError
 from .geometry import Rect, bounding_box, merged_area

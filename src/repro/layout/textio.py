@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..errors import LayoutError
 from .layers import layer_by_name
-from .layout import Label, Layout, Shape
+from .layout import Layout, Shape
 from .geometry import Rect
 
 

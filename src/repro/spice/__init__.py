@@ -37,6 +37,7 @@ from .analysis import (
     SolverBackend,
     SparseSolverBackend,
     TransientAnalysis,
+    TransientOptions,
     TransientResult,
     OperatingPoint,
     SimulationOptions,
@@ -65,6 +66,7 @@ __all__ = [
     "DCSweepAnalysis",
     "ACAnalysis",
     "TransientAnalysis",
+    "TransientOptions",
     "TransientResult",
     "OperatingPoint",
     "SimulationOptions",

@@ -27,7 +27,13 @@ from .dc import (
 )
 from .mna import MNABuilder, MNASystem, SimState, SimulationOptions
 from .newton import solve_newton
-from .transient import TransientAnalysis, TransientResult
+from .transient import (
+    TIMESTEP_MODES,
+    TransientAnalysis,
+    TransientOptions,
+    TransientResult,
+    quantize_step,
+)
 
 __all__ = [
     "ACAnalysis",
@@ -50,6 +56,9 @@ __all__ = [
     "SimState",
     "SimulationOptions",
     "solve_newton",
+    "TIMESTEP_MODES",
     "TransientAnalysis",
+    "TransientOptions",
     "TransientResult",
+    "quantize_step",
 ]

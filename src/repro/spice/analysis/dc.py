@@ -7,7 +7,7 @@ import numpy as np
 from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
 from ..netlist import Circuit, normalize_node, GROUND
 from ..waveform import Waveform
-from .mna import MNABuilder, SimState, SimulationOptions
+from .mna import MNABuilder, SimulationOptions
 from .newton import solve_newton
 
 

@@ -1,5 +1,24 @@
 """Transient analysis with fixed print step and adaptive internal stepping.
 
+Two timestep policies are available, selected by :class:`TransientOptions`:
+
+``mode="fixed"`` (default)
+    The legacy driver: one internal sub-step per print interval, halved on
+    Newton failure and grown back gently.  Bit-reproducible run to run,
+    which is what the campaign checkpoints key on.
+
+``mode="adaptive"``
+    A local-truncation-error (LTE) controlled variable-step integrator.
+    Each accepted step is checked against a per-node error tolerance using
+    the classic predictor-corrector estimate — a divided-difference
+    polynomial extrapolated through the accepted state history is compared
+    against the trap/BE corrector solution — and the next step size follows
+    the standard ``(tol/lte)^(1/(p+1))`` controller with growth clamps.
+    Print points are filled by polynomial interpolation of matching order,
+    so smooth intervals are integrated with steps far larger than the
+    print interval (fewer Newton solves), while switching edges are
+    refined below it.
+
 The linear algebra of every timestep goes through the solver backend
 selected for the circuit (:mod:`repro.spice.analysis.backends`): dense
 LAPACK below the size threshold, sparse SuperLU above it, overridable via
@@ -11,10 +30,13 @@ from __future__ import annotations
 
 import math
 import warnings
+from collections import OrderedDict
+from dataclasses import dataclass
 
 import numpy as np
 
-from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
+from ...errors import (AnalysisError, ConvergenceError, SingularMatrixError,
+                       TransientError)
 from ..netlist import Circuit, normalize_node, GROUND
 from ..waveform import Waveform
 from .dc import solve_operating_point
@@ -24,6 +46,150 @@ from .newton import solve_newton
 #: Hard ceiling on the number of print points (guards against pathological
 #: ``tstop/tstep`` ratios allocating unbounded trace memory).
 MAX_PRINT_POINTS = 5_000_000
+
+#: Recognised :attr:`TransientOptions.mode` values.
+TIMESTEP_MODES = ("fixed", "adaptive")
+
+
+@dataclass
+class TransientOptions:
+    """Timestep-control policy of one transient analysis.
+
+    The default (``mode="fixed"``) reproduces the legacy driver exactly:
+    one internal sub-step per print interval, halved on Newton failure.
+    Campaigns pin this mode by default so that checkpointed runs stay
+    bit-reproducible across resumes (the options travel inside
+    ``CampaignSettings`` and are part of the campaign fingerprint).
+
+    ``mode="adaptive"`` enables the LTE controller described in the module
+    docstring; see ``docs/integration.md`` for the estimator maths and
+    guidance on the knobs.
+    """
+
+    #: ``"fixed"`` (legacy print-step grid) or ``"adaptive"`` (LTE control).
+    mode: str = "fixed"
+    #: Relative LTE tolerance per node voltage.
+    lte_reltol: float = 1e-3
+    #: Absolute LTE tolerance per node voltage [V].
+    lte_abstol: float = 1e-6
+    #: Hard floor on the internal step [s]; ``None`` uses
+    #: ``tstep * SimulationOptions.min_step_fraction``.  When the controller
+    #: is driven to the floor and the step still fails, the run aborts with
+    #: :class:`~repro.errors.TransientError` instead of looping towards
+    #: denormal step sizes.
+    dt_min: float | None = None
+    #: Ceiling on the internal step [s]; ``None`` uses ``8 * tstep`` in
+    #: adaptive mode (the print interval itself bounds fixed mode).
+    dt_max: float | None = None
+    #: First internal step [s] of an adaptive run; ``None`` uses
+    #: ``tstep * SimulationOptions.min_step_fraction``.  The first step has
+    #: no history to estimate LTE from, so it is taken small and the
+    #: controller grows out of it within a few steps; an uncontrolled
+    #: full-``tstep`` backward-Euler first step would otherwise dominate
+    #: the global error of the whole run.  (Fixed mode always starts at
+    #: ``tstep``, as the legacy driver did.)
+    dt_initial: float | None = None
+    #: Largest step-growth factor per accepted step.
+    dt_grow: float = 2.0
+    #: Smallest step-shrink factor per rejected step.
+    dt_shrink: float = 0.1
+    #: Safety factor applied to the ``(tol/lte)^(1/(p+1))`` controller.
+    safety: float = 0.9
+    #: Fill print points by polynomial interpolation (same order as the
+    #: integration method) instead of clamping every internal step to the
+    #: next print target.  Interpolation is where the Newton-solve savings
+    #: come from; disable it to force solver output at every print point.
+    interpolate_prints: bool = True
+    #: Start each Newton solve from the divided-difference predictor
+    #: instead of the previous solution.  Under LTE control the predictor
+    #: is accurate by construction (a step whose predictor is poor gets
+    #: rejected), so this typically saves an iteration per smooth step; it
+    #: can cost iterations at very loose tolerances where steps outrun the
+    #: predictor's validity.
+    predictor_guess: bool = True
+    #: Snap adaptive steps down onto the geometric ladder
+    #: ``tstep * 2^(k/2)`` so the per-step-size factorisation caches
+    #: (LU/``freeze_solver``) see a bounded set of distinct step sizes.
+    quantize_steps: bool = True
+    #: Capacity of the per-step-size factorisation LRU cache used by the
+    #: linear-bypass path (least recently used step sizes are evicted).
+    solver_cache_size: int = 16
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.AnalysisError` on unusable knobs."""
+        if self.mode not in TIMESTEP_MODES:
+            raise AnalysisError(
+                f"unknown timestep mode {self.mode!r}; expected one of "
+                f"{', '.join(TIMESTEP_MODES)}")
+        if self.lte_reltol <= 0.0 or self.lte_abstol <= 0.0:
+            raise AnalysisError("LTE tolerances must be positive")
+        if not 0.0 < self.dt_shrink < 1.0:
+            raise AnalysisError("dt_shrink must be in (0, 1)")
+        if self.dt_grow < 1.0:
+            raise AnalysisError("dt_grow must be >= 1")
+        if not 0.0 < self.safety <= 1.0:
+            raise AnalysisError("safety must be in (0, 1]")
+        if self.dt_min is not None and self.dt_min <= 0.0:
+            raise AnalysisError("dt_min must be positive")
+        if self.dt_max is not None and self.dt_max <= 0.0:
+            raise AnalysisError("dt_max must be positive")
+        if self.dt_initial is not None and self.dt_initial <= 0.0:
+            raise AnalysisError("dt_initial must be positive")
+        if (self.dt_min is not None and self.dt_max is not None
+                and self.dt_min > self.dt_max):
+            raise AnalysisError("dt_min must not exceed dt_max")
+        if self.solver_cache_size < 1:
+            raise AnalysisError("solver_cache_size must be >= 1")
+
+
+class _LRUCache:
+    """Tiny least-recently-used mapping for per-step-size solver caches.
+
+    The adaptive driver produces a changing set of step sizes; keeping one
+    frozen factorisation per size ever seen would grow without bound on
+    long runs, so lookups refresh recency and insertions evict the oldest
+    entry beyond ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def quantize_step(dt: float, tstep: float) -> float:
+    """Snap ``dt`` down onto the geometric ladder ``tstep * 2^(k/2)``.
+
+    The adaptive controller proposes a continuum of step sizes; quantising
+    them onto a sparse geometric grid makes repeated step sizes common, so
+    the per-step-size factorisation caches actually hit (at a worst-case
+    cost of ``sqrt(2)`` in step size, well inside the controller's own
+    safety margin).
+    """
+    if dt <= 0.0 or tstep <= 0.0:
+        return dt
+    k = math.floor(2.0 * math.log2(dt / tstep))
+    quantized = tstep * 2.0 ** (k / 2.0)
+    # Guard the floor direction against log/pow round-off.
+    while quantized > dt * (1.0 + 1e-12):
+        k -= 1
+        quantized = tstep * 2.0 ** (k / 2.0)
+    return quantized
 
 
 class TransientResult:
@@ -138,6 +304,11 @@ class TransientAnalysis:
         every ``tail_downsample``-th print point (plus the final one),
         retrievable through :meth:`TransientResult.waveform` at the reduced
         resolution.  Ignored when ``record_nodes`` is ``None``.
+    timestep:
+        Timestep-control policy: a :class:`TransientOptions` instance, a
+        mode string (``"fixed"``/``"adaptive"``) as a shorthand for
+        ``TransientOptions(mode=...)``, or ``None`` for the fixed-step
+        default.  See ``docs/integration.md``.
 
     Fully linear circuits (R/C/L plus independent and linear controlled
     sources) bypass Newton iteration entirely: each distinct internal step
@@ -153,7 +324,8 @@ class TransientAnalysis:
                  record_currents: bool = True,
                  solver_backend: str | None = None,
                  record_nodes=None,
-                 tail_downsample: int = 0):
+                 tail_downsample: int = 0,
+                 timestep: TransientOptions | str | None = None):
         if tstop <= 0.0 or tstep <= 0.0:
             raise AnalysisError("tstop and tstep must be positive")
         if tstep > tstop:
@@ -171,6 +343,12 @@ class TransientAnalysis:
         self.record_nodes = (None if record_nodes is None
                              else tuple(record_nodes))
         self.tail_downsample = int(tail_downsample)
+        if timestep is None:
+            timestep = TransientOptions()
+        elif isinstance(timestep, str):
+            timestep = TransientOptions(mode=timestep)
+        timestep.validate()
+        self.timestep = timestep
 
     # ------------------------------------------------------------------
     def _initial_solution(self, builder: MNABuilder) -> np.ndarray:
@@ -228,7 +406,6 @@ class TransientAnalysis:
     def run(self) -> TransientResult:
         builder = MNABuilder(self.circuit, self.options,
                              solver_backend=self.solver_backend)
-        options = self.options
 
         x0 = self._initial_solution(builder)
         state = builder.new_state("tran")
@@ -262,18 +439,90 @@ class TransientAnalysis:
             tail_data[0] = state.x
         data[0] = state.x if select is None else state.x[select[0]]
 
+        def emit(output_index: int, x: np.ndarray) -> None:
+            data[output_index] = x if select is None else x[select[0]]
+            if tail_data is not None and output_index in tail_rows:
+                tail_data[tail_rows[output_index]] = x
+
+        if self.timestep.mode == "adaptive":
+            counters = self._run_adaptive(builder, state, times, emit)
+        else:
+            counters = self._run_fixed(builder, state, times, emit)
+
+        if select is None:
+            node_traces = {name: data[:, index]
+                           for name, index in builder.node_index.items()}
+            branch_traces = {}
+            if self.record_currents:
+                branch_traces = {device.name.lower():
+                                 data[:, device.branch_index]
+                                 for device in builder.devices
+                                 if device.branch_count() > 0}
+        else:
+            node_traces = {}
+            branch_traces = {}
+            for column, (name, is_branch) in enumerate(select[1]):
+                target = branch_traces if is_branch else node_traces
+                target[name] = data[:, column]
+        tail_time = None
+        tail_traces = None
+        if tail_data is not None:
+            tail_time = times[sorted(tail_rows)]
+            tail_traces = {name: tail_data[:, index]
+                           for name, index in builder.node_index.items()
+                           if name not in node_traces}
+
+        stats = {
+            "linear_bypass": builder.is_linear,
+            "solver_backend": builder.backend.name,
+            "matrix_size": builder.size,
+            "timestep_mode": self.timestep.mode,
+            "recorded_nodes": (data.shape[1] if select is not None
+                               else len(builder.node_index)),
+            "trace_bytes": int(data.nbytes) + (0 if tail_data is None
+                                               else int(tail_data.nbytes)),
+        }
+        stats.update(counters)
+        # ``steps_accepted``/``steps_rejected`` are the documented telemetry
+        # names; the historical ``accepted_steps``/``rejected_steps`` keys
+        # are kept as aliases for existing consumers.
+        stats["accepted_steps"] = stats["steps_accepted"]
+        stats["rejected_steps"] = stats["steps_rejected"]
+        return TransientResult(times, node_traces, branch_traces, stats=stats,
+                               tail_time=tail_time, tail_traces=tail_traces)
+
+    # ------------------------------------------------------------------
+    # Timestep drivers
+    # ------------------------------------------------------------------
+    def _dt_floor(self) -> float:
+        """Hard floor on the internal step [s] (the ``dt_min`` knob)."""
+        if self.timestep.dt_min is not None:
+            return self.timestep.dt_min
+        return self.tstep * self.options.min_step_fraction
+
+    def _run_fixed(self, builder: MNABuilder, state: SimState,
+                   times: np.ndarray, emit) -> dict:
+        """The legacy driver: one internal sub-step per print interval,
+        halved on Newton failure, grown back gently.  Deliberately
+        bit-identical to the historical behaviour (campaign checkpoints
+        rely on it), apart from the clearer :class:`TransientError` when
+        the step is driven below the ``dt_min`` floor.
+        """
+        options = self.options
         use_trap = options.integration.lower().startswith("trap")
-        min_step = self.tstep * options.min_step_fraction
+        min_step = self._dt_floor()
         step = self.tstep
         first_step_done = False
 
         linear = builder.is_linear
-        lu_cache: dict[tuple[float, float, float], object] = {}
+        lu_cache = _LRUCache(self.timestep.solver_cache_size)
         newton_iterations = 0
         accepted_steps = 0
         rejected_steps = 0
+        dt_smallest = math.inf
+        dt_largest = 0.0
 
-        for output_index in range(1, num_outputs):
+        for output_index in range(1, len(times)):
             target = times[output_index]
             while state.time < target - 1e-18 * max(1.0, target):
                 # The actual sub-step is the adaptive step clamped to the
@@ -304,7 +553,7 @@ class TransientAnalysis:
                                          max_iterations=options.itl4)
                             newton_iterations += state.last_newton_iterations
                         accepted = True
-                    except (ConvergenceError, SingularMatrixError):
+                    except (ConvergenceError, SingularMatrixError) as exc:
                         # Reject: restore and halve the sub-step; the
                         # adaptive step follows the rejection.
                         state.time -= dt
@@ -313,59 +562,285 @@ class TransientAnalysis:
                         dt *= 0.5
                         step = dt
                         if dt < min_step:
-                            raise ConvergenceError(
-                                f"transient step fell below the minimum at "
-                                f"t={state.time:g}s")
+                            raise TransientError(
+                                f"transient step fell below dt_min="
+                                f"{min_step:g}s at t={state.time:g}s "
+                                f"({exc})") from exc
                 builder.accept_timestep(state)
                 first_step_done = True
                 accepted_steps += 1
+                dt_smallest = min(dt_smallest, dt)
+                dt_largest = max(dt_largest, dt)
                 # Gentle step recovery towards the print interval, driven
                 # only by genuinely accepted adaptive steps (a clamped final
                 # sub-step leaves the adaptive step untouched).
                 if dt >= step and step < self.tstep:
                     step = min(step * 2.0, self.tstep)
-            data[output_index] = (state.x if select is None
-                                  else state.x[select[0]])
-            if tail_data is not None and output_index in tail_rows:
-                tail_data[tail_rows[output_index]] = state.x
+            emit(output_index, state.x)
 
-        if select is None:
-            node_traces = {name: data[:, index]
-                           for name, index in builder.node_index.items()}
-            branch_traces = {}
-            if self.record_currents:
-                branch_traces = {device.name.lower():
-                                 data[:, device.branch_index]
-                                 for device in builder.devices
-                                 if device.branch_count() > 0}
-        else:
-            node_traces = {}
-            branch_traces = {}
-            for column, (name, is_branch) in enumerate(select[1]):
-                target = branch_traces if is_branch else node_traces
-                target[name] = data[:, column]
-        tail_time = None
-        tail_traces = None
-        if tail_data is not None:
-            tail_time = times[sorted(tail_rows)]
-            tail_traces = {name: tail_data[:, index]
-                           for name, index in builder.node_index.items()
-                           if name not in node_traces}
-
-        stats = {
+        return {
             "newton_iterations": newton_iterations,
-            "accepted_steps": accepted_steps,
-            "rejected_steps": rejected_steps,
-            "linear_bypass": linear,
-            "solver_backend": builder.backend.name,
-            "matrix_size": builder.size,
-            "recorded_nodes": (data.shape[1] if select is not None
-                               else len(builder.node_index)),
-            "trace_bytes": int(data.nbytes) + (0 if tail_data is None
-                                               else int(tail_data.nbytes)),
+            "steps_accepted": accepted_steps,
+            "steps_rejected": rejected_steps,
+            "dt_min": 0.0 if accepted_steps == 0 else dt_smallest,
+            "dt_max": dt_largest,
         }
-        return TransientResult(times, node_traces, branch_traces, stats=stats,
-                               tail_time=tail_time, tail_traces=tail_traces)
+
+    def _run_adaptive(self, builder: MNABuilder, state: SimState,
+                      times: np.ndarray, emit) -> dict:
+        """The LTE-controlled variable-step driver (``mode="adaptive"``).
+
+        Per accepted step, the corrector solution is compared against a
+        divided-difference predictor extrapolated through the accepted
+        state history; the resulting per-node LTE estimate is tested
+        against ``lte_reltol``/``lte_abstol`` and the next step follows the
+        ``(tol/lte)^(1/(p+1))`` controller, clamped to
+        ``[dt_shrink, dt_grow]`` per decision and ``[dt_min, dt_max]``
+        overall.  Print points inside an accepted step are filled by
+        polynomial interpolation of the same order as the method.
+        """
+        topts = self.timestep
+        options = self.options
+        use_trap = options.integration.lower().startswith("trap")
+        tstop = float(times[-1])
+        dt_floor = self._dt_floor()
+        dt_cap = topts.dt_max if topts.dt_max is not None else 8.0 * self.tstep
+        dt_cap = max(dt_cap, dt_floor)
+        eps = 1e-12 * max(self.tstep, tstop)
+
+        linear = builder.is_linear
+        lu_cache = _LRUCache(topts.solver_cache_size)
+        newton_iterations = 0
+        accepted_steps = 0
+        rejected_steps = 0
+        dt_smallest = math.inf
+        dt_largest = 0.0
+
+        # Accepted state history (time-ascending, most recent last): up to
+        # three points, enough for the quadratic predictor/interpolant.
+        history_t: list[float] = [0.0]
+        history_x: list[np.ndarray] = [state.x.copy()]
+
+        if topts.dt_initial is not None:
+            step = topts.dt_initial
+        else:
+            step = self.tstep * options.min_step_fraction
+        step = min(max(step, dt_floor), dt_cap)
+        first_step_done = False
+        next_output = 1
+        last_ratio = 0.0
+
+        while state.time < tstop - eps:
+            dt = min(step, tstop - state.time)
+            if not topts.interpolate_prints and next_output < len(times):
+                dt = min(dt, times[next_output] - state.time)
+            clamped = dt < step * (1.0 - 1e-12)
+            while True:
+                trap_now = use_trap and first_step_done
+                order = 2 if trap_now else 1
+                if trap_now:
+                    state.integ_c0 = 2.0 / dt
+                    state.integ_c1 = 1.0
+                else:
+                    state.integ_c0 = 1.0 / dt
+                    state.integ_c1 = 0.0
+                state.dt = dt
+                saved_time = state.time
+                saved_x = state.x.copy()
+                predicted = self._predict(history_t, history_x,
+                                          saved_time + dt, order)
+                state.time = saved_time + dt
+                try:
+                    if linear:
+                        self._solve_linear_step(builder, state, lu_cache)
+                        newton_iterations += 1
+                    else:
+                        guess = saved_x
+                        if topts.predictor_guess and predicted is not None:
+                            guess = predicted
+                        solve_newton(builder, state, x0=guess,
+                                     max_iterations=options.itl4)
+                        newton_iterations += state.last_newton_iterations
+                except (ConvergenceError, SingularMatrixError) as exc:
+                    state.time = saved_time
+                    state.x = saved_x
+                    rejected_steps += 1
+                    if dt <= dt_floor * (1.0 + 1e-9):
+                        raise TransientError(
+                            f"adaptive transient step hit the dt_min="
+                            f"{dt_floor:g}s floor at t={saved_time:g}s "
+                            f"(last LTE ratio {last_ratio:.3g}, {exc})"
+                            ) from exc
+                    dt = max(0.5 * dt, dt_floor)
+                    step = dt
+                    clamped = False
+                    continue
+                ratio = 0.0
+                if predicted is not None:
+                    ratio = self._lte_ratio(state.x, predicted, saved_x,
+                                            builder, history_t, dt, order)
+                    last_ratio = ratio
+                if ratio > 1.0:
+                    if dt <= dt_floor * (1.0 + 1e-9):
+                        # The floor forbids further refinement; accept the
+                        # step rather than looping forever (the tolerance
+                        # is advisory at the floor, and matches SPICE
+                        # practice of integrating through discontinuities
+                        # at the minimum step).
+                        break
+                    state.time = saved_time
+                    state.x = saved_x
+                    rejected_steps += 1
+                    shrink = topts.safety * ratio ** (-1.0 / (order + 1))
+                    shrink = min(max(shrink, topts.dt_shrink), 0.5)
+                    dt = max(dt * shrink, dt_floor)
+                    if topts.quantize_steps:
+                        dt = max(quantize_step(dt, self.tstep), dt_floor)
+                    step = dt
+                    clamped = False
+                    continue
+                break
+
+            builder.accept_timestep(state)
+            first_step_done = True
+            accepted_steps += 1
+            dt_smallest = min(dt_smallest, dt)
+            dt_largest = max(dt_largest, dt)
+
+            # Print points covered by this step: interpolate (or copy the
+            # endpoint when the step landed on one).
+            while (next_output < len(times)
+                   and times[next_output] <= state.time + eps):
+                t_out = times[next_output]
+                if t_out >= state.time - eps:
+                    emit(next_output, state.x)
+                else:
+                    emit(next_output, self._interpolate(
+                        history_t, history_x, state.time, state.x, t_out))
+                next_output += 1
+
+            history_t.append(state.time)
+            history_x.append(state.x.copy())
+            if len(history_t) > 3:
+                history_t.pop(0)
+                history_x.pop(0)
+
+            # Step-size controller for the next step.
+            if ratio > 0.0:
+                grow = topts.safety * ratio ** (-1.0 / (order + 1))
+                grow = min(max(grow, topts.dt_shrink), topts.dt_grow)
+            else:
+                grow = topts.dt_grow
+            candidate = min(max(dt * grow, dt_floor), dt_cap)
+            if topts.quantize_steps:
+                candidate = max(quantize_step(candidate, self.tstep),
+                                dt_floor)
+            if clamped:
+                # A step clamped to tstop/a print target says nothing about
+                # accuracy at the controller's own size; never shrink below
+                # the standing step because of it.
+                step = max(step, candidate)
+            else:
+                step = candidate
+
+        # The final accepted step lands on ``tstop`` within ``eps``, so
+        # every output row has normally been emitted; flush any stragglers
+        # (float pathology) with the final state rather than leaving zeros.
+        while next_output < len(times):
+            emit(next_output, state.x)
+            next_output += 1
+        return {
+            "newton_iterations": newton_iterations,
+            "steps_accepted": accepted_steps,
+            "steps_rejected": rejected_steps,
+            "dt_min": 0.0 if accepted_steps == 0 else dt_smallest,
+            "dt_max": dt_largest,
+        }
+
+    # ------------------------------------------------------------------
+    # LTE estimator helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _predict(history_t: list[float], history_x: list[np.ndarray],
+                 t_new: float, order: int) -> np.ndarray | None:
+        """Divided-difference (Newton polynomial) predictor at ``t_new``.
+
+        Extrapolates the accepted state history: linear through the last
+        two points for backward Euler (order 1), quadratic through the
+        last three for trapezoidal (order 2).  Returns ``None`` while the
+        history is too short, which disables LTE control for that step.
+        """
+        needed = order + 1
+        if len(history_t) < needed:
+            return None
+        ts = history_t[-needed:]
+        xs = history_x[-needed:]
+        if order == 1:
+            (t0, t1), (x0, x1) = ts, xs
+            slope = (x1 - x0) / (t1 - t0)
+            return x1 + slope * (t_new - t1)
+        (t0, t1, t2), (x0, x1, x2) = ts, xs
+        d01 = (x1 - x0) / (t1 - t0)
+        d12 = (x2 - x1) / (t2 - t1)
+        d012 = (d12 - d01) / (t2 - t0)
+        return x2 + d12 * (t_new - t2) + d012 * (t_new - t2) * (t_new - t1)
+
+    def _lte_ratio(self, corrected: np.ndarray, predicted: np.ndarray,
+                   previous: np.ndarray, builder: MNABuilder,
+                   history_t: list[float], dt: float, order: int) -> float:
+        """Worst per-node ratio of estimated LTE to tolerance.
+
+        The corrector-minus-predictor difference is proportional to the
+        method's local truncation error; the proportionality constant
+        follows from the error terms of both polynomials over the actual
+        (non-uniform) step history:
+
+        * trapezoidal: ``LTE = h^2 / (h^2 + 2(h+h1)(h+h1+h2)) * |x_c-x_p|``
+        * backward Euler: ``LTE = h / (2h + h1) * |x_c - x_p|``
+
+        where ``h`` is the present step and ``h1``/``h2`` the previous
+        ones.  Only node-voltage rows are tested (per-node control);
+        branch currents follow the nodes they connect.
+        """
+        topts = self.timestep
+        if order == 2:
+            h1 = history_t[-1] - history_t[-2]
+            h2 = history_t[-2] - history_t[-3]
+            coefficient = dt * dt / (dt * dt
+                                     + 2.0 * (dt + h1) * (dt + h1 + h2))
+        else:
+            h1 = history_t[-1] - history_t[-2]
+            coefficient = dt / (2.0 * dt + h1)
+        nodes = builder.num_nodes
+        if nodes == 0:
+            return 0.0
+        error = coefficient * np.abs(corrected[:nodes] - predicted[:nodes])
+        reference = np.maximum(np.abs(corrected[:nodes]),
+                               np.abs(previous[:nodes]))
+        tolerance = topts.lte_reltol * reference + topts.lte_abstol
+        return float(np.max(error / tolerance))
+
+    @staticmethod
+    def _interpolate(history_t: list[float], history_x: list[np.ndarray],
+                     t_new: float, x_new: np.ndarray,
+                     t_out: float) -> np.ndarray:
+        """Dense output inside the accepted step ``(history tail, t_new]``.
+
+        Quadratic through the last two accepted history points and the new
+        endpoint (matching the trapezoidal order); linear when only one
+        history point exists yet.
+        """
+        t1 = history_t[-1]
+        x1 = history_x[-1]
+        if len(history_t) < 2:
+            weight = (t_out - t1) / (t_new - t1)
+            return x1 + weight * (x_new - x1)
+        t0 = history_t[-2]
+        x0 = history_x[-2]
+        d01 = (x1 - x0) / (t1 - t0)
+        d12 = (x_new - x1) / (t_new - t1)
+        d012 = (d12 - d01) / (t_new - t0)
+        return x1 + d01 * (t_out - t1) + d012 * (t_out - t1) * (t_out - t0)
 
     def _recorded_columns(self, builder: MNABuilder):
         """Resolve ``record_nodes`` to ``(column indices, [(name,
@@ -404,20 +879,23 @@ class TransientAnalysis:
 
     # ------------------------------------------------------------------
     def _solve_linear_step(self, builder: MNABuilder, state: SimState,
-                           lu_cache: dict) -> None:
+                           lu_cache: _LRUCache) -> None:
         """Advance a fully linear circuit by one sub-step.
 
         The MNA matrix of a linear circuit depends only on the integration
         coefficients (and gmin), not on time or the solution, so each
-        distinct step size is factorised exactly once — through the
-        backend's :meth:`freeze_solver` (dense LAPACK LU or sparse SuperLU)
-        — and the factors are reused for every timestep taken with that
-        ``dt``.
+        distinct step size is factorised once — through the backend's
+        :meth:`freeze_solver` (dense LAPACK LU or sparse SuperLU) — and the
+        factors are reused for every timestep taken with that ``dt``.  The
+        cache is bounded: the adaptive driver produces a changing (but,
+        thanks to step quantisation, mostly recurring) set of step sizes,
+        and least recently used factorisations are evicted beyond
+        ``TransientOptions.solver_cache_size``.
         """
         base = builder.assemble_constant(state)
         key = (state.integ_c0, state.integ_c1, state.gmin)
         solver = lu_cache.get(key)
         if solver is None:
             solver = base.freeze_solver()
-            lu_cache[key] = solver
+            lu_cache.put(key, solver)
         state.x = solver(base.rhs)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ...errors import NetlistError
 from ...units import parse_value
-from .base import CompanionCapacitor, Device, stamp_conductance, stamp_current_source
+from .base import CompanionCapacitor, Device, stamp_conductance
 
 #: Smallest resistance accepted before it is clamped (avoids singular MNA).
 MIN_RESISTANCE = 1e-9

@@ -10,13 +10,7 @@ import pytest
 from hypothesis import settings as hypothesis_settings
 
 from repro.anafault import CampaignSettings, ToleranceSettings
-
-# Simulation-backed property tests can exceed hypothesis' default per-example
-# deadline on slow machines; correctness is what matters here.
-hypothesis_settings.register_profile("repro", deadline=None)
-hypothesis_settings.load_profile("repro")
 from repro.circuits import (
-    VCOParameters,
     build_rc_lowpass,
     build_cmos_inverter,
     build_vco,
@@ -25,6 +19,11 @@ from repro.circuits import (
 from repro.extract import compare, extract_netlist
 from repro.lift import FaultExtractionOptions, FaultExtractor
 from repro.spice import SimulationOptions, TransientAnalysis
+
+# Simulation-backed property tests can exceed hypothesis' default per-example
+# deadline on slow machines; correctness is what matters here.
+hypothesis_settings.register_profile("repro", deadline=None)
+hypothesis_settings.load_profile("repro")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,376 @@
+"""Tests for the LTE-controlled adaptive timestep integrator.
+
+Covers the tentpole invariants of the adaptive engine
+(:class:`repro.spice.TransientOptions`): convergence against an analytic
+RC solution as the tolerance tightens, reject/grow telemetry, exact
+degeneration to the fixed-step driver when pinned, the ``dt_min`` floor
+error, step quantisation and the bounded factorisation cache, and the
+campaign-level fixed-step pinning that checkpoint resume relies on.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.anafault import (
+    CampaignSettings,
+    FaultSimulator,
+    ToleranceSettings,
+    campaign_fingerprint,
+)
+from repro.circuits import build_rc_ladder, build_rc_lowpass, build_vco, \
+    nominal_transient_settings
+from repro.circuits.models import add_default_models
+from repro.errors import AnalysisError, CampaignError, ConvergenceError, \
+    TransientError
+from repro.lift import BridgingFault, FaultList, OpenFault
+from repro.spice import (
+    Capacitor,
+    Circuit,
+    Mosfet,
+    Resistor,
+    SimulationOptions,
+    TransientAnalysis,
+    TransientOptions,
+    VoltageSource,
+)
+from repro.spice.analysis.transient import _LRUCache, quantize_step
+from repro.spice.devices import PulseShape
+
+
+def rc_decay_circuit() -> Circuit:
+    """1 kOhm || 1 nF with the capacitor charged to 3 V: v = 3 exp(-t/tau),
+    tau = 1 us.  No source discontinuities, so the whole run is smooth."""
+    circuit = Circuit("rc decay")
+    circuit.add(Resistor("R1", "a", "0", 1e3))
+    circuit.add(Capacitor("C1", "a", "0", 1e-9, ic=3.0))
+    return circuit
+
+
+def inverter_circuit() -> Circuit:
+    """A single pulse-driven CMOS inverter (nonlinear Newton path)."""
+    circuit = Circuit("inverter")
+    add_default_models(circuit)
+    circuit.add(VoltageSource("VDD", "vdd", "0", 5.0))
+    circuit.add(VoltageSource("VIN", "in", "0",
+                              PulseShape(0.0, 5.0, 1e-8, 1e-9, 1e-9,
+                                         1e-7, 2e-7)))
+    circuit.add(Mosfet("MN1", "out", "in", "0", "0", "nch", w=10e-6, l=2e-6))
+    circuit.add(Mosfet("MP1", "out", "in", "vdd", "vdd", "pch",
+                       w=20e-6, l=2e-6))
+    circuit.add(Capacitor("C1", "out", "0", 50e-15))
+    return circuit
+
+
+def adaptive(reltol: float, abstol: float, **kwargs) -> TransientOptions:
+    return TransientOptions(mode="adaptive", lte_reltol=reltol,
+                            lte_abstol=abstol, **kwargs)
+
+
+class TestOptionsValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransientAnalysis(rc_decay_circuit(), tstop=1e-6, tstep=1e-8,
+                              timestep="sometimes")
+
+    def test_bad_knobs_rejected(self):
+        for bad in (TransientOptions(lte_reltol=0.0),
+                    TransientOptions(lte_abstol=-1.0),
+                    TransientOptions(dt_shrink=1.5),
+                    TransientOptions(dt_grow=0.5),
+                    TransientOptions(safety=0.0),
+                    TransientOptions(dt_min=-1e-12),
+                    TransientOptions(dt_max=0.0),
+                    TransientOptions(dt_initial=0.0),
+                    TransientOptions(dt_min=1e-8, dt_max=1e-9),
+                    TransientOptions(solver_cache_size=0)):
+            with pytest.raises(AnalysisError):
+                bad.validate()
+
+    def test_string_shorthand(self):
+        analysis = TransientAnalysis(rc_decay_circuit(), tstop=1e-6,
+                                     tstep=1e-8, timestep="adaptive")
+        assert analysis.timestep.mode == "adaptive"
+
+    def test_default_is_fixed(self):
+        analysis = TransientAnalysis(rc_decay_circuit(), tstop=1e-6,
+                                     tstep=1e-8)
+        assert analysis.timestep.mode == "fixed"
+
+
+class TestRCAnalyticConvergence:
+    """Step-doubling style convergence study on the analytic RC decay."""
+
+    TAU = 1e-6
+
+    def _error(self, options: TransientOptions) -> tuple[float, dict]:
+        result = TransientAnalysis(rc_decay_circuit(), tstop=2e-6,
+                                   tstep=2e-8, use_ic=True,
+                                   timestep=options).run()
+        analytic = 3.0 * np.exp(-result.time / self.TAU)
+        return float(np.max(np.abs(result["a"].y - analytic))), result.stats
+
+    def test_error_decreases_with_tolerance(self):
+        errors = {}
+        for reltol in (1e-2, 1e-4, 1e-6):
+            errors[reltol], _ = self._error(
+                adaptive(reltol, reltol * 1e-3))
+        assert errors[1e-4] < errors[1e-2]
+        assert errors[1e-6] < errors[1e-4]
+        assert errors[1e-6] < 1e-4
+
+    def test_tight_tolerance_beats_fixed_grid_accuracy(self):
+        """At reltol 1e-6 the adaptive run is more accurate than the fixed
+        print-step grid while spending fewer linear solves."""
+        fixed = TransientAnalysis(rc_decay_circuit(), tstop=2e-6,
+                                  tstep=2e-8, use_ic=True).run()
+        analytic = 3.0 * np.exp(-fixed.time / self.TAU)
+        fixed_error = float(np.max(np.abs(fixed["a"].y - analytic)))
+        adaptive_error, stats = self._error(adaptive(1e-6, 1e-9))
+        assert adaptive_error < fixed_error
+        assert stats["newton_iterations"] > 0
+
+    def test_halved_tolerance_roughly_halves_error_scale(self):
+        """Order sanity: two decades of tolerance buy at least one decade
+        of accuracy in the controlled region."""
+        coarse, _ = self._error(adaptive(1e-4, 1e-7))
+        fine, _ = self._error(adaptive(1e-6, 1e-9))
+        assert fine < coarse / 3.0
+
+
+class TestControllerTelemetry:
+    def test_reject_and_grow_counters(self):
+        """A mid-run pulse edge forces rejections; the smooth stretches
+        grow the step beyond the print interval."""
+        circuit = Circuit("pulse rc")
+        circuit.add(VoltageSource("V1", "in", "0",
+                                  PulseShape(0.0, 1.0, 1e-6, 1e-9, 1e-9,
+                                             5e-6, 10e-6)))
+        circuit.add(Resistor("R1", "in", "out", 1e3))
+        circuit.add(Capacitor("C1", "out", "0", 1e-9))
+        result = TransientAnalysis(circuit, tstop=4e-6, tstep=4e-8,
+                                   timestep=adaptive(1e-4, 1e-7)).run()
+        stats = result.stats
+        assert stats["timestep_mode"] == "adaptive"
+        assert stats["steps_accepted"] > 0
+        assert stats["steps_rejected"] > 0
+        assert 0.0 < stats["dt_min"] < stats["dt_max"]
+        assert stats["dt_max"] > 4e-8  # grew past the print interval
+        # Aliases for the historical names stay in sync.
+        assert stats["accepted_steps"] == stats["steps_accepted"]
+        assert stats["rejected_steps"] == stats["steps_rejected"]
+        # Linear circuits pay exactly one solve per attempted step.
+        assert stats["newton_iterations"] == (stats["steps_accepted"]
+                                              + stats["steps_rejected"])
+
+    def test_fixed_mode_reports_dt_range(self):
+        result = TransientAnalysis(rc_decay_circuit(), tstop=1e-6,
+                                   tstep=1e-8, use_ic=True).run()
+        assert result.stats["timestep_mode"] == "fixed"
+        assert result.stats["dt_min"] == pytest.approx(1e-8)
+        assert result.stats["dt_max"] == pytest.approx(1e-8)
+
+    def test_adaptive_saves_solves_on_smooth_circuit(self):
+        fixed = TransientAnalysis(rc_decay_circuit(), tstop=2e-6,
+                                  tstep=2e-8, use_ic=True).run()
+        result = TransientAnalysis(rc_decay_circuit(), tstop=2e-6,
+                                   tstep=2e-8, use_ic=True,
+                                   timestep=adaptive(1e-4, 1e-7)).run()
+        assert (result.stats["newton_iterations"]
+                < fixed.stats["newton_iterations"])
+
+
+class TestFixedEquivalence:
+    """Adaptive mode pinned to the print grid degenerates to the fixed
+    driver exactly — same step sequence, same solves, same waveforms."""
+
+    def test_vco_print_point_agreement(self):
+        circuit = build_vco()
+        settings = nominal_transient_settings()
+        fixed = TransientAnalysis(circuit, **settings).run()
+        pinned = TransientOptions(
+            mode="adaptive", dt_max=settings["tstep"],
+            dt_initial=settings["tstep"], interpolate_prints=False,
+            predictor_guess=False, lte_reltol=100.0, lte_abstol=100.0)
+        result = TransientAnalysis(circuit, timestep=pinned, **settings).run()
+        assert (result.stats["newton_iterations"]
+                == fixed.stats["newton_iterations"])
+        assert (result.stats["steps_accepted"]
+                == fixed.stats["steps_accepted"])
+        for node in fixed.nodes:
+            np.testing.assert_allclose(result[node].y, fixed[node].y,
+                                       rtol=0.0, atol=1e-12)
+
+    def test_adaptive_vco_keeps_the_physics(self):
+        """The genuinely adaptive VCO run (interpolated print points,
+        growing steps) preserves the figure-level behaviour."""
+        circuit = build_vco()
+        settings = nominal_transient_settings()
+        result = TransientAnalysis(
+            circuit, timestep=adaptive(3e-3, 1e-4, dt_max=8e-8),
+            **settings).run()
+        output = result["11"]
+        assert output.oscillates(min_swing=3.0)
+        assert output.maximum() > 4.5 and output.minimum() < 0.5
+        assert 0.8e6 < output.frequency() < 3e6
+        assert result.stats["dt_max"] > nominal_transient_settings()["tstep"]
+
+    def test_streaming_matches_full_recording(self):
+        """Observed-node streaming under the adaptive driver records the
+        same interpolated print samples as a full-trace run."""
+        circuit = build_rc_ladder(8)
+        kwargs = dict(tstop=5e-6, tstep=5e-8,
+                      timestep=adaptive(1e-4, 1e-7))
+        full = TransientAnalysis(circuit, **kwargs).run()
+        streamed = TransientAnalysis(circuit, record_nodes=("n1", "n8"),
+                                     **kwargs).run()
+        np.testing.assert_array_equal(streamed["n1"].y, full["n1"].y)
+        np.testing.assert_array_equal(streamed["n8"].y, full["n8"].y)
+        assert streamed.stats["recorded_nodes"] == 2
+
+
+class TestDtMinFloor:
+    def test_fixed_mode_raises_transient_error(self):
+        options = SimulationOptions(itl4=1)  # Newton can never converge
+        with pytest.raises(TransientError) as excinfo:
+            TransientAnalysis(inverter_circuit(), tstop=1e-7, tstep=1e-9,
+                              use_ic=True, options=options).run()
+        message = str(excinfo.value)
+        assert "dt_min" in message and "t=" in message
+
+    def test_adaptive_mode_names_time_and_lte(self):
+        options = SimulationOptions(itl4=1)
+        with pytest.raises(TransientError) as excinfo:
+            TransientAnalysis(inverter_circuit(), tstop=1e-7, tstep=1e-9,
+                              use_ic=True, options=options,
+                              timestep=adaptive(1e-3, 1e-6)).run()
+        message = str(excinfo.value)
+        assert "dt_min" in message
+        assert "t=" in message
+        assert "LTE" in message
+
+    def test_transient_error_is_a_convergence_error(self):
+        """Campaign code classifies non-convergent faults by catching
+        ConvergenceError; the floor error must stay in that family."""
+        assert issubclass(TransientError, ConvergenceError)
+
+    def test_explicit_floor_respected(self):
+        """An explicit dt_min forbids refinement below it: the adaptive
+        run accepts at the floor instead of spiralling downwards."""
+        circuit = build_rc_ladder(4)
+        topts = adaptive(1e-9, 1e-12, dt_min=5e-8, dt_max=5e-8,
+                         dt_initial=5e-8)
+        result = TransientAnalysis(circuit, tstop=5e-6, tstep=5e-8,
+                                   timestep=topts).run()
+        assert result.stats["dt_min"] >= 5e-8 * (1.0 - 1e-9)
+
+
+class TestQuantisationAndCache:
+    def test_quantize_step_ladder(self):
+        tstep = 1e-8
+        for dt in (1e-8, 1.5e-8, 2e-8, 3.3e-8, 7.9e-8, 1e-9, 2.7e-11):
+            snapped = quantize_step(dt, tstep)
+            assert snapped <= dt * (1.0 + 1e-12)
+            # On the ladder: log2(snapped/tstep) is a half-integer.
+            k = 2.0 * np.log2(snapped / tstep)
+            assert abs(k - round(k)) < 1e-6
+        # Ladder values are fixed points.
+        assert quantize_step(tstep, tstep) == pytest.approx(tstep)
+
+    def test_lru_cache_evicts_oldest(self):
+        cache = _LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes recency of "a"
+        cache.put("c", 3)           # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_adaptive_linear_run_bounded_cache(self):
+        """A long adaptive linear run stays within the configured number
+        of distinct factorisations thanks to step quantisation (the run
+        would not crash without it, but the cache proves the steps
+        recur)."""
+        circuit = build_rc_ladder(8)
+        topts = adaptive(1e-4, 1e-7, solver_cache_size=4)
+        result = TransientAnalysis(circuit, tstop=5e-6, tstep=5e-8,
+                                   timestep=topts).run()
+        assert result.stats["steps_accepted"] > 4
+
+
+class TestCampaignPinning:
+    """CampaignSettings carries the timestep policy; the fixed-step pin
+    round-trips through checkpoint/resume with identical verdicts."""
+
+    @staticmethod
+    def _campaign():
+        circuit = build_rc_lowpass(capacitance=1e-6)
+        faults = FaultList("adaptive-pin")
+        faults.add(BridgingFault(1, probability=1e-7, net_a="out",
+                                 net_b="0"))
+        faults.add(OpenFault(2, probability=1e-8, device="R1",
+                             terminal="pos"))
+        settings = CampaignSettings(tstop=5e-3, tstep=5e-5, use_ic=True,
+                                    observation_nodes=("out",),
+                                    tolerances=ToleranceSettings(0.3, 2e-4))
+        return circuit, faults, settings
+
+    def test_default_campaign_pins_fixed_mode(self):
+        _, _, settings = self._campaign()
+        assert settings.timestep.mode == "fixed"
+
+    def test_default_timestep_keeps_legacy_fingerprint(self):
+        """The fingerprint omits the ``timestep`` field at its default
+        (which reproduces the legacy driver bit for bit), so checkpoints
+        written before the field existed still resume after the upgrade."""
+        from repro.anafault.checkpoint import _settings_text
+
+        _, _, settings = self._campaign()
+        assert "timestep" not in _settings_text(settings)
+        adaptive_settings = dataclasses.replace(
+            settings, timestep=TransientOptions(mode="adaptive"))
+        assert "timestep" in _settings_text(adaptive_settings)
+
+    def test_timestep_changes_fingerprint(self):
+        circuit, faults, settings = self._campaign()
+        adaptive_settings = dataclasses.replace(
+            settings, timestep=TransientOptions(mode="adaptive"))
+        assert (campaign_fingerprint(circuit, faults, settings)
+                != campaign_fingerprint(circuit, faults, adaptive_settings))
+
+    def test_checkpoint_roundtrip_identical_verdicts(self, tmp_path):
+        circuit, faults, settings = self._campaign()
+        path = tmp_path / "campaign.jsonl"
+        first = FaultSimulator(circuit, faults, settings).run(
+            checkpoint=path)
+        resumed = FaultSimulator(circuit, faults, settings).run(
+            checkpoint=path)
+        assert resumed.telemetry()["checkpoint_skipped"] == len(faults)
+        for a, b in zip(first.records, resumed.records):
+            assert a.status == b.status
+            assert a.detection_time == b.detection_time
+            assert a.steps_accepted == b.steps_accepted
+            assert a.steps_rejected == b.steps_rejected
+
+    def test_checkpoint_refuses_other_timestep_policy(self, tmp_path):
+        circuit, faults, settings = self._campaign()
+        path = tmp_path / "campaign.jsonl"
+        FaultSimulator(circuit, faults, settings).run(checkpoint=path)
+        adaptive_settings = dataclasses.replace(
+            settings, timestep=TransientOptions(mode="adaptive"))
+        with pytest.raises(CampaignError):
+            FaultSimulator(circuit, faults, adaptive_settings).run(
+                checkpoint=path)
+
+    def test_adaptive_campaign_runs_and_reports(self):
+        circuit, faults, settings = self._campaign()
+        adaptive_settings = dataclasses.replace(
+            settings, timestep=TransientOptions(mode="adaptive"))
+        result = FaultSimulator(circuit, faults, adaptive_settings).run()
+        telemetry = result.telemetry()
+        assert telemetry["timestep_mode"] == "adaptive"
+        assert telemetry["steps_accepted_total"] > 0
+        assert result.count_by_status()["detected"] == 2

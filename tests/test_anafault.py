@@ -5,9 +5,7 @@ import pytest
 
 from repro.anafault import (
     CampaignSettings,
-    DetectionResult,
     FaultCoverage,
-    FaultInjector,
     FaultModelOptions,
     FaultSimulator,
     STATUS_DETECTED,
@@ -19,7 +17,6 @@ from repro.anafault import (
     full_report,
     inject_fault,
 )
-from repro.circuits import build_rc_lowpass, build_vco
 from repro.errors import CampaignError, FaultError, FaultInjectionError
 from repro.lift import (
     BridgingFault,
@@ -30,11 +27,9 @@ from repro.lift import (
     StuckOpenFault,
 )
 from repro.spice import (
-    Capacitor,
     CurrentSource,
     OperatingPointAnalysis,
     Resistor,
-    TransientAnalysis,
     VoltageSource,
     Waveform,
 )

@@ -4,7 +4,6 @@ import pytest
 
 from repro.anafault import CampaignSettings, ToleranceSettings
 from repro.cat import CATFlow, CATOptions
-from repro.circuits import build_vco_layout
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the reference circuits, in particular the paper's VCO."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import (
@@ -17,7 +16,6 @@ from repro.circuits import (
 )
 from repro.spice import (
     DCSweepAnalysis,
-    Mosfet,
     OperatingPointAnalysis,
     TransientAnalysis,
 )

@@ -8,7 +8,6 @@ from repro.defects import (
     DefectSizeDistribution,
     DefectStatistics,
     FailureMechanism,
-    MonteCarloResult,
     SpotDefectSampler,
     bridge_critical_area,
     contact_open_critical_area,

@@ -2,17 +2,16 @@
 
 import pytest
 
-from repro.circuits import build_cmos_inverter, build_vco
+from repro.circuits import build_cmos_inverter
 from repro.errors import LVSError
 from repro.extract import (
     ConnectivityExtractor,
     DeviceExtractor,
-    NetlistExtractor,
     compare,
     extract_netlist,
 )
 from repro.layout import CONTACT, Layout, METAL1, METAL2, NDIFF, POLY, VIA, generate_layout
-from repro.spice import Capacitor, Mosfet
+from repro.spice import Mosfet
 
 
 class TestConnectivitySmall:

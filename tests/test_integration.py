@@ -8,14 +8,13 @@ stays fast: shorter transients and hand-picked faults instead of the full
 import pytest
 
 from repro.anafault import (
-    CampaignSettings,
     FaultModelOptions,
     FaultSimulator,
     ToleranceSettings,
     WaveformComparator,
     inject_fault,
 )
-from repro.circuits import OUTPUT_NODE, build_vco
+from repro.circuits import OUTPUT_NODE
 from repro.lift import (
     BridgingFault,
     FaultList,

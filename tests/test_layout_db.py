@@ -22,7 +22,7 @@ from repro.layout import (
     textio,
 )
 from repro.layout.builder import LayoutGenerator
-from repro.circuits import build_cmos_inverter, build_vco
+from repro.circuits import build_cmos_inverter
 
 
 class TestLayers:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits import build_cmos_inverter, build_vco
+from repro.circuits import build_cmos_inverter
 from repro.errors import FaultError
 from repro.lift import (
     BridgingFault,

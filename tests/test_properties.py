@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -10,7 +9,6 @@ from hypothesis import strategies as st
 from repro.defects import (
     DefectSizeDistribution,
     bridge_critical_area,
-    contact_open_critical_area,
     open_critical_area,
 )
 from repro.layout import Rect, merged_area

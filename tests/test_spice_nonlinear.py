@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.errors import ConvergenceError, ModelError
+from repro.errors import ModelError
 from repro.spice import (
     Circuit,
     DCSweepAnalysis,

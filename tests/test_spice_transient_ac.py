@@ -17,7 +17,7 @@ from repro.spice import (
     VoltageSource,
     Waveform,
 )
-from repro.spice.devices import PulseShape, SinShape
+from repro.spice.devices import SinShape
 from repro.spice.waveform import ascii_plot
 
 

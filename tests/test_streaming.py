@@ -32,7 +32,6 @@ from repro.anafault import (
     publish_nominal,
 )
 from repro.anafault.simulator import CampaignResult
-from repro.circuits import build_rc_lowpass
 from repro.errors import AnalysisError, CampaignError
 from repro.lift import BridgingFault, FaultList, OpenFault, ParametricFault
 from repro.spice import TransientAnalysis, Waveform

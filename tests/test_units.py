@@ -1,6 +1,5 @@
 """Tests for engineering-unit parsing and formatting."""
 
-import math
 
 import pytest
 
