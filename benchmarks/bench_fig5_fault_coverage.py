@@ -26,10 +26,13 @@ from dataclasses import replace
 from repro.anafault import (
     CampaignSettings,
     FaultSimulator,
+    ShardExecutor,
     ToleranceSettings,
+    WaveformComparator,
     coverage_plot,
     format_fault_table,
     format_overview,
+    merge_shards,
 )
 from repro.circuits import OUTPUT_NODE
 
@@ -91,6 +94,58 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
     assert resumed.checkpoint_skipped == len(result.records)
     assert resumed.fault_coverage() == result.fault_coverage()
 
+    # ------------------------------------------------------------------
+    # Cross-host sharding: the same campaign split across two
+    # ShardExecutor runs (as two cluster hosts would execute it) and
+    # merged from the JSONL shards must be record-for-record identical to
+    # the single-host run — fixed-step campaigns are bit-reproducible.
+    shard_paths = []
+    for index in range(2):
+        shard_paths.append(tmp_path / f"fig5_shard{index}.jsonl")
+        FaultSimulator(circuit, faults, streaming_settings).run(
+            executor=ShardExecutor(shard_index=index, shard_count=2,
+                                   path=shard_paths[index], workers=2))
+    merged = merge_shards(circuit, faults, streaming_settings, shard_paths,
+                          require_complete=True)
+    assert ([r.fault.fault_id for r in merged.records]
+            == [r.fault.fault_id for r in result.records])
+    assert ([r.status for r in merged.records]
+            == [r.status for r in result.records])
+    assert ([r.detection_time for r in merged.records]
+            == [r.detection_time for r in result.records])
+    assert merged.fault_coverage() == result.fault_coverage()
+
+    # ------------------------------------------------------------------
+    # Batch comparator: one stacked (faults x samples) persistence scan
+    # must reproduce the campaign's per-fault verdicts and detection
+    # times exactly (the per-sample Python loop is gone from the
+    # post-processing tail).
+    from repro.errors import ConvergenceError, FaultInjectionError, \
+        SingularMatrixError
+
+    worker = FaultSimulator.for_worker(circuit, streaming_settings)
+    nominal_wave = result.nominal[OUTPUT_NODE]
+    batch_faults, batch_waves = [], []
+    for fault in faults:
+        if len(batch_waves) == 8:
+            break
+        try:
+            waveforms, _stats = worker._run_transient(
+                worker.injector.inject(fault))
+        except (ConvergenceError, SingularMatrixError, FaultInjectionError):
+            continue  # failure verdicts carry no waveform to stack
+        batch_faults.append(fault)
+        batch_waves.append(waveforms[OUTPUT_NODE])
+    assert batch_waves, "no cleanly simulating fault to cross-check"
+    comparator = WaveformComparator(streaming_settings.tolerances)
+    batch = comparator.compare_batch(nominal_wave, batch_waves,
+                                     signal=OUTPUT_NODE)
+    for fault, verdict in zip(batch_faults, batch):
+        campaign_record = result.record_for(fault.fault_id)
+        assert verdict.detected == (campaign_record.status == "detected")
+        if verdict.detected:
+            assert verdict.detection_time == campaign_record.detection_time
+
     # The measured streaming win: the shared-memory nominal costs each
     # worker a tiny fraction of the pickled-copy payload, and the per-fault
     # trace allocation shrinks to the observed nodes.
@@ -140,6 +195,11 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         f"checkpoint resume: {resumed.checkpoint_skipped} records reloaded, "
         f"0 re-simulated, coverage {resumed.fault_coverage():.1%} "
         "(identical to the straight-through run)",
+        f"cross-host shards: 2-way ShardExecutor split merged to "
+        f"{len([r for r in merged.records if r is not None])} records, "
+        "record-for-record identical to the single-host run",
+        f"batch comparator : {len(batch_waves)} stacked waveforms, verdicts "
+        "and detection times identical to the per-fault scan",
         "",
         format_fault_table(result, limit=40),
     ]

@@ -31,6 +31,15 @@ from .report import (
 from .parallel import iter_faults_parallel, run_faults_parallel
 from .streaming import InlineNominalStore, NominalStore, publish_nominal
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint
+from .executors import (
+    CampaignExecutor,
+    CampaignPlan,
+    ExecutionInfo,
+    PoolExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    merge_shards,
+)
 
 __all__ = [
     "FaultModelOptions",
@@ -66,4 +75,11 @@ __all__ = [
     "publish_nominal",
     "CampaignCheckpoint",
     "campaign_fingerprint",
+    "CampaignPlan",
+    "CampaignExecutor",
+    "ExecutionInfo",
+    "SerialExecutor",
+    "PoolExecutor",
+    "ShardExecutor",
+    "merge_shards",
 ]

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.anafault`` (see ``cli.py``)."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

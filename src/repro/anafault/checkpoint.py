@@ -111,6 +111,44 @@ def campaign_fingerprint(circuit: Circuit, fault_list: FaultList,
     return digest.hexdigest()[:32]
 
 
+def _iter_entries(handle, on_skip=None):
+    """Yield the decodable JSON entries of a checkpoint file, skipping
+    blank and torn lines (``on_skip()`` is called once per skipped line).
+
+    The one line-scan both :meth:`CampaignCheckpoint.load` and
+    :func:`read_header` go through, so their tolerance for crash debris
+    cannot drift apart.
+    """
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            # A torn tail from a hard kill; count it and move on.
+            if on_skip is not None:
+                on_skip()
+
+
+def read_header(path) -> dict | None:
+    """First readable header entry of a checkpoint/shard file, or ``None``.
+
+    A cheap identity probe for tooling (the ``merge`` CLI uses it to
+    report each shard's ``shard_index``/``shard_count`` and fingerprint
+    without loading the records); torn or non-JSON lines are skipped the
+    same way :meth:`CampaignCheckpoint.load` skips them.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        for entry in _iter_entries(handle):
+            if entry.get("kind") == "header":
+                return entry
+    return None
+
+
 class CampaignCheckpoint:
     """Append-only JSONL store of finished fault simulation records.
 
@@ -127,6 +165,14 @@ class CampaignCheckpoint:
     :class:`~repro.errors.CampaignError` when the file belongs to a
     different campaign; :meth:`start` writes the header if the file is new.
     """
+
+    @classmethod
+    def coerce(cls, checkpoint) -> "CampaignCheckpoint":
+        """``checkpoint`` as a store: paths are wrapped, stores pass
+        through — the one rule every campaign entry point shares."""
+        if isinstance(checkpoint, cls):
+            return checkpoint
+        return cls(checkpoint)
 
     def __init__(self, path):
         self.path = pathlib.Path(path)
@@ -154,17 +200,12 @@ class CampaignCheckpoint:
             return {}
         completed: dict[int, dict] = {}
         header_seen = False
+
+        def count_skip() -> None:
+            self.skipped_lines += 1
+
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn tail from a hard kill; count it and move on.
-                    self.skipped_lines += 1
-                    continue
+            for entry in _iter_entries(handle, on_skip=count_skip):
                 kind = entry.get("kind")
                 if kind == "header":
                     if entry.get("version") != CHECKPOINT_VERSION:
@@ -190,8 +231,15 @@ class CampaignCheckpoint:
         return completed
 
     # ------------------------------------------------------------------
-    def start(self, fingerprint: str, campaign: str = "") -> None:
-        """Open for appending, writing the header line if the file is new."""
+    def start(self, fingerprint: str, campaign: str = "",
+              extra: dict | None = None) -> None:
+        """Open for appending, writing the header line if the file is new.
+
+        ``extra`` merges additional identity fields into the header —
+        shard runs record their ``shard_index``/``shard_count`` here so
+        tooling can tell shard files apart (:meth:`load` ignores fields it
+        does not know).
+        """
         if self._handle is not None:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -212,8 +260,10 @@ class CampaignCheckpoint:
             # `_needs_header`: the file exists but its header line was torn
             # by a crash; append a fresh one (load() accepts the header on
             # any line) so the next resume is not refused.
-            self._write({"kind": "header", "version": CHECKPOINT_VERSION,
-                         "fingerprint": fingerprint, "campaign": campaign})
+            header = {"kind": "header", "version": CHECKPOINT_VERSION,
+                      "fingerprint": fingerprint, "campaign": campaign}
+            header.update(extra or {})
+            self._write(header)
             self._needs_header = False
 
     def append(self, record) -> None:

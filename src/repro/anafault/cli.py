@@ -1,0 +1,348 @@
+"""``python -m repro.anafault`` — the cross-host campaign driver.
+
+The paper's AnaFAULT was extended to run fault campaigns on a workstation
+cluster (section II); this CLI is that extension's reproduction: two hosts
+can split one campaign with nothing but a shared netlist, a shared LIFT
+fault-list file and an rsync'd directory.  Three subcommands mirror the
+plan/execute/collect stages of :mod:`repro.anafault.executors`:
+
+``run``
+    the single-host campaign (optionally checkpointed and pool-parallel),
+``shard``
+    one deterministic ``--shard-index/--shard-count`` slice of the fault
+    list, written as a fingerprint-keyed JSONL shard file,
+``merge``
+    N shard files reassembled into the unsharded result — refusing
+    fingerprint mismatches and overlapping shards, reporting missing-id
+    holes, optionally re-emitting the merged records as a checkpoint file
+    (``--out``) and verifying them against a reference run (``--verify``).
+
+A minimal two-host session (see ``docs/campaigns.md`` for the full
+walkthrough)::
+
+    host-a$ python -m repro.anafault shard vco.cir vco.lift \
+                --shard-index 0 --shard-count 2 --out shard0.jsonl
+    host-b$ python -m repro.anafault shard vco.cir vco.lift \
+                --shard-index 1 --shard-count 2 --out shard1.jsonl
+    host-a$ rsync host-b:shard1.jsonl .
+    host-a$ python -m repro.anafault merge vco.cir vco.lift \
+                shard0.jsonl shard1.jsonl --out merged.jsonl
+
+Campaign identity is enforced, not assumed: every shard file carries the
+campaign fingerprint (circuit + fault list + verdict-relevant settings),
+so hosts that drifted apart refuse to merge instead of mixing results.
+The transient window defaults to the netlist's ``.tran`` card (and ``.ic``
+cards seed the initial conditions), so the settings flags usually stay at
+their defaults — but every flag that changes what is simulated must be
+repeated identically on every host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from ..errors import ReproError
+from ..lift.faultlist import FaultList
+from ..spice.parser import parse_netlist_file
+from ..units import parse_value
+from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
+from .comparator import ToleranceSettings
+from .executors import ShardExecutor, merge_shards
+from .report import format_overview
+from .simulator import CampaignResult, CampaignSettings, FaultSimulator
+
+#: Record fields compared by ``merge --verify`` — the verdict-level
+#: identity of a record (no timing or IPC telemetry).
+VERDICT_FIELDS = ("status", "detection_time", "detected_on", "max_deviation")
+
+
+def _engineering_value(text: str) -> float:
+    """``argparse`` type for SPICE engineering values (``4u``, ``10n``);
+    converts :class:`~repro.errors.UnitError` into the usage error
+    argparse knows how to present."""
+    try:
+        return parse_value(text)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("netlist", help="SPICE netlist of the circuit under "
+                        "test (shared verbatim between hosts)")
+    parser.add_argument("faults", help="LIFT fault-list file "
+                        "(FaultList.dump output, shared verbatim)")
+    simulate = parser.add_argument_group(
+        "simulation settings (identical on every host — they are part of "
+        "the campaign fingerprint)")
+    simulate.add_argument("--tstop", type=_engineering_value, default=None,
+                          metavar="T", help="transient stop time, e.g. 4u "
+                          "(default: the netlist's .tran card)")
+    simulate.add_argument("--tstep", type=_engineering_value, default=None,
+                          metavar="T", help="transient print step, e.g. 10n "
+                          "(default: the netlist's .tran card)")
+    simulate.add_argument("--observe", default=None, metavar="NODES",
+                          help="comma-separated observation nodes "
+                          "(default: the paper's node 11)")
+    simulate.add_argument("--amplitude-tolerance", type=float,
+                          default=ToleranceSettings.amplitude, metavar="V",
+                          help="comparator amplitude tolerance [V] "
+                          "(default: %(default)s)")
+    simulate.add_argument("--time-tolerance", type=_engineering_value,
+                          default=ToleranceSettings.time, metavar="T",
+                          help="comparator persistence-time tolerance "
+                          "(default: %(default)s s)")
+    simulate.add_argument("--no-ic", action="store_true",
+                          help="start from a DC operating point instead of "
+                          "the netlist's initial conditions")
+    simulate.add_argument("--solver-backend", default=None,
+                          choices=("auto", "dense", "sparse"),
+                          help="linear-solver backend for every transient")
+    simulate.add_argument("--top", type=int, default=None, metavar="N",
+                          help="simulate only the N most probable faults "
+                          "(applied identically on every host)")
+
+
+def _load_campaign(args) -> FaultSimulator:
+    """Build the simulator (circuit + fault list + settings) a subcommand
+    operates on."""
+    parsed = parse_netlist_file(args.netlist)
+    fault_path = pathlib.Path(args.faults)
+    # The fault-list *name* is part of the serialised list and therefore of
+    # the campaign fingerprint; pin it to a constant so campaign identity
+    # depends on the file's *content* only — hosts may keep the file under
+    # any path or filename and still shard/merge together.
+    fault_list = FaultList.loads(fault_path.read_text(encoding="utf-8"),
+                                 name="campaign fault list")
+    if args.top is not None:
+        fault_list = fault_list.top(args.top)
+
+    tstop, tstep = args.tstop, args.tstep
+    if tstop is None or tstep is None:
+        for request in parsed.analyses:
+            if request.kind == "tran" and len(request.args) >= 2:
+                # .tran <tstep> <tstop>
+                tstep = tstep if tstep is not None else parse_value(
+                    request.args[0])
+                tstop = tstop if tstop is not None else parse_value(
+                    request.args[1])
+                break
+    if tstop is None or tstep is None:
+        raise ReproError(
+            "no transient window: pass --tstop/--tstep or put a "
+            ".tran card in the netlist")
+
+    defaults = CampaignSettings()
+    observe = (tuple(node.strip() for node in args.observe.split(",")
+                     if node.strip())
+               if args.observe else defaults.observation_nodes)
+    settings = CampaignSettings(
+        tstop=float(tstop), tstep=float(tstep),
+        use_ic=not args.no_ic,
+        observation_nodes=observe,
+        initial_conditions=dict(parsed.initial_conditions),
+        tolerances=ToleranceSettings(args.amplitude_tolerance,
+                                     float(args.time_tolerance)),
+        solver_backend=args.solver_backend)
+    return FaultSimulator(parsed.circuit, fault_list, settings)
+
+
+def _write_records(result: CampaignResult, path, fingerprint: str) -> int:
+    """Write the live records of ``result`` as a checkpoint-format JSONL
+    file — deliberately unsharded: a merge output is the whole campaign,
+    re-runnable with ``run --checkpoint`` and mergeable again.  Returns
+    the number of records written."""
+    path = pathlib.Path(path)
+    if path.exists():
+        path.unlink()  # a merge output is a fresh artefact, never a resume
+    store = CampaignCheckpoint(path)
+    store.start(fingerprint, campaign=result.fault_list.name)
+    written = 0
+    try:
+        for record in result.records:
+            if record is not None:
+                store.append(record)
+                written += 1
+    finally:
+        store.close()
+    return written
+
+
+def _verify_against(result: CampaignResult, reference_path,
+                    fingerprint: str, out) -> int:
+    """Compare the merged records against a reference checkpoint file
+    (verdict fields only); returns the number of mismatching fault ids.
+
+    The comparison is two-sided: a reference record with no merged
+    counterpart (a hole from a missing shard) counts as a mismatch too,
+    so an incomplete merge can never verify clean.
+    """
+    reference = CampaignCheckpoint(reference_path).load(fingerprint)
+    mismatches = 0
+    merged_ids = set()
+    for record in result.records:
+        if record is None:
+            continue
+        merged_ids.add(record.fault.fault_id)
+        expected = reference.get(record.fault.fault_id)
+        if expected is None:
+            print(f"verify: fault id {record.fault.fault_id} missing from "
+                  f"{reference_path}", file=out)
+            mismatches += 1
+            continue
+        for name in VERDICT_FIELDS:
+            if getattr(record, name) != expected.get(name):
+                print(f"verify: fault id {record.fault.fault_id} differs on "
+                      f"{name}: {getattr(record, name)!r} != "
+                      f"{expected.get(name)!r}", file=out)
+                mismatches += 1
+                break
+    for fault_id in sorted(set(reference) - merged_ids):
+        print(f"verify: fault id {fault_id} of {reference_path} has no "
+              "merged record (missing shard?)", file=out)
+        mismatches += 1
+    return mismatches
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_run(args, out) -> int:
+    simulator = _load_campaign(args)
+    result = simulator.run(workers=args.workers, checkpoint=args.checkpoint)
+    print(format_overview(result), file=out)
+    return 0
+
+
+def _cmd_shard(args, out) -> int:
+    simulator = _load_campaign(args)
+    executor = ShardExecutor(shard_index=args.shard_index,
+                             shard_count=args.shard_count,
+                             path=args.out, workers=args.workers)
+    result = simulator.run(executor=executor)
+    counts = ", ".join(f"{status}={count}" for status, count
+                       in sorted(result.count_by_status().items()))
+    print(f"shard {args.shard_index}/{args.shard_count}: "
+          f"{result.telemetry()['faults']} of {len(result.fault_list)} "
+          f"faults ({result.checkpoint_skipped} resumed) -> {args.out}",
+          file=out)
+    print(f"fingerprint {read_header(args.out)['fingerprint']}", file=out)
+    print(f"verdicts: {counts}", file=out)
+    return 0
+
+
+def _cmd_merge(args, out) -> int:
+    simulator = _load_campaign(args)
+    settings = simulator.settings
+    fingerprint = campaign_fingerprint(simulator.circuit,
+                                       simulator.fault_list, settings)
+    for path in args.shards:
+        header = read_header(path) or {}
+        shard = (f"shard {header['shard_index']}/{header['shard_count']}"
+                 if "shard_index" in header else "unsharded")
+        print(f"reading {path}: {shard}, fingerprint "
+              f"{header.get('fingerprint', '?')}", file=out)
+    if args.out and any(pathlib.Path(args.out).resolve()
+                        == pathlib.Path(shard).resolve()
+                        for shard in args.shards):
+        raise ReproError(
+            f"--out {args.out} names one of the input shard files; "
+            "writing the merged result there would destroy that host's "
+            "resume checkpoint — pick a fresh output path")
+    if (args.out and args.verify and pathlib.Path(args.out).resolve()
+            == pathlib.Path(args.verify).resolve()):
+        raise ReproError(
+            f"--out and --verify both name {args.out}; the merge would "
+            "overwrite the reference and then verify against itself — "
+            "pick a fresh output path")
+    result = merge_shards(simulator.circuit, simulator.fault_list, settings,
+                          args.shards, require_complete=args.require_complete)
+    missing = [fault.fault_id for fault, record
+               in zip(result.fault_list, result.records) if record is None]
+    if missing:
+        print(f"warning: merge left {len(missing)} hole(s) for fault "
+              f"id(s) {missing} — a shard file is missing", file=out)
+    print("", file=out)
+    print(format_overview(result), file=out)
+    if args.out:
+        written = _write_records(result, args.out, fingerprint)
+        print(f"\nmerged {written} record(s) -> {args.out}", file=out)
+    if args.verify:
+        mismatches = _verify_against(result, args.verify, fingerprint, out)
+        if mismatches:
+            print(f"verify: {mismatches} record(s) differ from "
+                  f"{args.verify}", file=out)
+            return 1
+        live = len([r for r in result.records if r is not None])
+        print(f"verify: all {live} merged record(s) match {args.verify}",
+              file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.anafault`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.anafault",
+        description="AnaFAULT campaign driver: run, shard and merge "
+        "fault-simulation campaigns across hosts.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run a full campaign on this host",
+        description="Run the whole campaign on this host and print the "
+        "overview report.")
+    _add_campaign_arguments(run)
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="process-pool workers (default: serial)")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="JSONL checkpoint to append to / resume from")
+
+    shard = commands.add_parser(
+        "shard", help="run one shard of a campaign",
+        description="Simulate the deterministic round-robin slice "
+        "faults[shard_index::shard_count] and write it as a "
+        "fingerprint-keyed JSONL shard file (re-running resumes from it).")
+    _add_campaign_arguments(shard)
+    shard.add_argument("--shard-index", type=int, required=True, metavar="I")
+    shard.add_argument("--shard-count", type=int, required=True, metavar="N")
+    shard.add_argument("--out", required=True, metavar="PATH",
+                       help="shard JSONL output file")
+    shard.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="process-pool workers for this shard")
+
+    merge = commands.add_parser(
+        "merge", help="merge shard files into one result",
+        description="Assemble shard JSONL files into the unsharded "
+        "campaign result (no simulation happens; fingerprints must "
+        "match).")
+    _add_campaign_arguments(merge)
+    merge.add_argument("shards", nargs="+", metavar="SHARD",
+                       help="shard JSONL files to merge")
+    merge.add_argument("--out", default=None, metavar="PATH",
+                       help="write the merged records as a checkpoint-"
+                       "format JSONL file")
+    merge.add_argument("--require-complete", action="store_true",
+                       help="fail when any fault id has no record")
+    merge.add_argument("--verify", default=None, metavar="PATH",
+                       help="compare verdicts against a reference "
+                       "checkpoint (exit 1 on any mismatch)")
+    return parser
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code (0 ok, 1 failed
+    verification, 2 campaign/input error)."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {"run": _cmd_run, "shard": _cmd_shard,
+               "merge": _cmd_merge}[args.command]
+    try:
+        return handler(args, out)
+    except (ReproError, OSError, ValueError) as exc:
+        # ValueError covers settings validation (e.g. negative tolerances);
+        # exit 2 is the input-error code, exit 1 means verification failed.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

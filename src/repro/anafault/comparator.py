@@ -19,6 +19,23 @@ import numpy as np
 from ..spice.waveform import Waveform
 
 
+def _run_lengths(exceeds: np.ndarray) -> np.ndarray:
+    """Length of the run of consecutive ``True`` values ending at each
+    sample, vectorised over the last axis.
+
+    The cumsum/reset formulation of the comparator's persistence scan
+    (previously a per-sample Python loop): ``maximum.accumulate`` over the
+    index-where-False (−1 before the first ``False``) carries the position
+    of the most recent violation-free sample forward, and the distance to
+    it is exactly the current run length.  Accepts a 1-D sample vector or
+    a stacked (faults × samples) matrix.
+    """
+    indices = np.arange(exceeds.shape[-1])
+    last_false = np.maximum.accumulate(
+        np.where(exceeds, -1, indices), axis=-1)
+    return indices - last_false
+
+
 @dataclass
 class ToleranceSettings:
     """Detection tolerances (defaults as in Fig. 5)."""
@@ -79,17 +96,53 @@ class WaveformComparator:
             first = int(np.argmax(exceeds))
             return DetectionResult(True, float(faulty.x[first]), max_deviation,
                                    signal)
-        # Length of the run of consecutive violations ending at each sample.
-        run = np.zeros(exceeds.size, dtype=int)
-        count = 0
-        for index, flag in enumerate(exceeds):
-            count = count + 1 if flag else 0
-            run[index] = count
-        hits = np.nonzero(run >= window)[0]
+        hits = np.nonzero(_run_lengths(exceeds) >= window)[0]
         if hits.size == 0:
             return DetectionResult(False, None, max_deviation, signal)
         return DetectionResult(True, float(faulty.x[int(hits[0])]),
                                max_deviation, signal)
+
+    def compare_batch(self, nominal: Waveform, faulty: list[Waveform],
+                      signal: str = "") -> list[DetectionResult]:
+        """Compare many faulty waveforms against one nominal in a single
+        vectorised pass.
+
+        All faulty waveforms must share one time grid (the campaign case:
+        fixed-step transients print on a common grid); the deviations are
+        stacked into one (faults × samples) matrix and the persistence-
+        window scan runs over the whole matrix at once, shaving the
+        post-processing tail of big campaigns.  Verdicts and detection
+        times are identical to per-waveform :meth:`compare` calls; a
+        mismatched grid raises :class:`ValueError` instead of silently
+        comparing unrelated samples.
+        """
+        if not faulty:
+            return []
+        times = np.asarray(faulty[0].x, dtype=float)
+        stacked = np.empty((len(faulty), times.size), dtype=float)
+        for row, wave in enumerate(faulty):
+            x = np.asarray(wave.x, dtype=float)
+            if x.size != times.size or not np.array_equal(x, times):
+                raise ValueError(
+                    "compare_batch needs all faulty waveforms on one time "
+                    f"grid; waveform {row} differs from waveform 0")
+            stacked[row] = np.asarray(wave.y, dtype=float)
+        if times.size == 0:
+            # Zero-sample traces: per-waveform compare() reports undetected
+            # with zero deviation; match it instead of argmax-ing nothing.
+            return [DetectionResult(False, None, 0.0, signal) for _ in faulty]
+        deviation = np.abs(stacked - nominal.values_at(times))
+        exceeds = deviation > self.tolerances.amplitude
+        max_deviation = deviation.max(axis=1)
+        window = self._persistence_window(times)
+        hits = exceeds if window <= 1 else _run_lengths(exceeds) >= window
+        detected = hits.any(axis=1)
+        first = hits.argmax(axis=1)
+        return [DetectionResult(bool(detected[row]),
+                                float(times[first[row]]) if detected[row]
+                                else None,
+                                float(max_deviation[row]), signal)
+                for row in range(len(faulty))]
 
     def compare_many(self, nominal: dict[str, Waveform],
                      faulty: dict[str, Waveform]) -> DetectionResult:

@@ -1,4 +1,4 @@
-"""Fault-parallel campaign execution.
+"""Fault-parallel campaign execution (the process-pool engine).
 
 The original AnaFAULT was extended to run on a workstation cluster [21];
 fault simulation is embarrassingly parallel because every fault is an
@@ -7,7 +7,10 @@ over a local process pool in batches: the fault list is streamed through
 ``ProcessPoolExecutor.map`` with an explicit ``chunksize`` so that the
 per-fault IPC overhead is amortised over a handful of transients per
 round-trip while the tail of the campaign still load-balances across
-workers.
+workers.  The campaign layer reaches this engine through
+:class:`repro.anafault.executors.PoolExecutor` (the cross-*host* half of
+the cluster story — sharding — is :class:`~repro.anafault.executors.\
+ShardExecutor` plus the ``python -m repro.anafault`` CLI).
 
 Two streaming properties keep the IPC and memory cost flat as campaigns
 grow (see ``docs/campaigns.md``):
@@ -22,7 +25,7 @@ FaultSimulationRecord` payloads (verdict, metrics, telemetry — never
   report what the IPC actually cost.
 
 :func:`iter_faults_parallel` yields records in fault order *as they
-complete*, which is what lets ``FaultSimulator.run`` append them to a
+complete*, which is what lets the campaign manager append them to a
 checkpoint incrementally instead of only materialising the full list at the
 end.
 """

@@ -72,8 +72,14 @@ def format_overview(result: CampaignResult) -> str:
     lines.append(f"total wall time      : {result.total_elapsed_seconds:.2f}s")
     engine = "streaming" if telemetry["streaming"] else "full-trace"
     lines.append(f"campaign engine      : {engine}, "
+                 f"{telemetry['executor']} executor, "
                  f"{telemetry['workers']} worker(s), "
                  f"nominal via {telemetry['nominal_store']}")
+    if telemetry["shard_count"] > 1:
+        lines.append(f"shard                : "
+                     f"{telemetry['shard_index']}/{telemetry['shard_count']} "
+                     f"({telemetry['faults']} of {len(result.fault_list)} "
+                     "faults)")
     if telemetry["nominal_ipc_bytes"] or telemetry["record_ipc_bytes_total"]:
         lines.append(f"IPC payloads         : nominal "
                      f"{telemetry['nominal_ipc_bytes']} B/worker, records "

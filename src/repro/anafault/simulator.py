@@ -163,6 +163,14 @@ class CampaignResult:
     nominal_ipc_bytes: int = 0
     #: Worker processes the campaign ran with (1 = serial).
     workers: int = 1
+    #: Executor that produced the records: ``"serial"``, ``"pool"``,
+    #: ``"shard"`` or ``"merge"`` (see :mod:`repro.anafault.executors`).
+    executor: str = "serial"
+    #: Shard slice this result covers; ``(0, 1)`` for an unsharded run.  A
+    #: shard result holds ``None`` placeholders for the faults of the
+    #: other shards (every aggregate tolerates them).
+    shard_index: int = 0
+    shard_count: int = 1
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
@@ -179,13 +187,22 @@ class CampaignResult:
         previous linear scan made loops over ids quadratic).
 
         Raises :class:`KeyError` (with the offending id in the message)
-        when the campaign has no record for ``fault_id``.
+        when the campaign has no record for ``fault_id``, and
+        :class:`~repro.errors.CampaignError` when the campaign carries
+        *several* records for it — duplicate ids from an un-merged fault
+        list used to silently shadow all but the first record; run
+        ``FaultList.merge_equivalent()`` first.
         """
         if self._indexed_records != len(self.records):
             index: dict[int, FaultSimulationRecord] = {}
             for record in self._live_records():
-                # Keep the first record per id, matching the old scan order.
-                index.setdefault(record.fault.fault_id, record)
+                previous = index.setdefault(record.fault.fault_id, record)
+                if previous is not record:
+                    raise CampaignError(
+                        f"campaign has multiple records for fault id "
+                        f"{record.fault.fault_id} (duplicate ids in an "
+                        "un-merged fault list); record_for cannot pick one "
+                        "— merge the fault list first (merge_equivalent())")
             self._fault_index = index
             self._indexed_records = len(self.records)
         try:
@@ -243,6 +260,9 @@ class CampaignResult:
             "newton_iterations_mean": (sum(iterations) / count) if count else 0.0,
             "newton_iterations_max": max(iterations, default=0),
             "workers": self.workers,
+            "executor": self.executor,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
             "streaming": bool(getattr(self.settings, "stream_traces", False)),
             "nominal_store": self.nominal_store,
             "nominal_ipc_bytes": self.nominal_ipc_bytes,
@@ -389,140 +409,187 @@ class FaultSimulator:
             steps_rejected=steps_rejected)
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _record_from_checkpoint(fault: Fault,
-                                payload: dict) -> FaultSimulationRecord:
-        """Rebuild a record from its checkpoint JSON payload; the fault
-        object itself comes from the campaign's own fault list."""
-        return FaultSimulationRecord(
-            fault=fault,
-            status=str(payload.get("status") or STATUS_SIM_FAILED),
-            detection_time=payload.get("detection_time"),
-            detected_on=str(payload.get("detected_on") or ""),
-            max_deviation=float(payload.get("max_deviation") or 0.0),
-            elapsed_seconds=float(payload.get("elapsed_seconds") or 0.0),
-            message=str(payload.get("message") or ""),
-            newton_iterations=int(payload.get("newton_iterations") or 0),
-            steps_accepted=int(payload.get("steps_accepted") or 0),
-            steps_rejected=int(payload.get("steps_rejected") or 0),
-            trace_bytes=int(payload.get("trace_bytes") or 0),
-            # payload_bytes stays 0: nothing crossed IPC for a reloaded
-            # record, and telemetry reports what *this* run paid.
-            payload_bytes=0)
+    # The campaign pipeline: plan -> execute -> collect
+    # ------------------------------------------------------------------
+    def plan(self, checkpoint=None, shard_index: int = 0,
+             shard_count: int = 1):
+        """Build the :class:`~repro.anafault.executors.CampaignPlan` of one
+        run: this run's (possibly sharded) slice of the fault list, the
+        skipped/pending partition derived from ``checkpoint`` (a path or
+        :class:`~repro.anafault.CampaignCheckpoint`), and the campaign
+        fingerprint.
 
-    def run(self, workers: int = 1, progress_callback=None,
-            checkpoint=None) -> CampaignResult:
-        """Run the whole campaign.
-
-        ``workers > 1`` distributes fault simulations over a process pool
-        (section II mentions the workstation-cluster parallelisation of
-        AnaFAULT; fault-level parallelism is embarrassingly parallel),
-        publishing the nominal waveforms once through shared memory when
-        ``settings.use_shared_memory`` allows.
-
-        ``checkpoint`` (a path or a
-        :class:`~repro.anafault.checkpoint.CampaignCheckpoint`) persists
-        every finished record as it completes and, on a restart with the
-        same circuit + fault list + settings, skips the fault ids already
-        on disk — the merged result is indistinguishable from an
-        uninterrupted run (timing telemetry aside).  A checkpoint written
-        by a *different* campaign raises
-        :class:`~repro.errors.CampaignError` instead of mixing results.
-
-        ``progress_callback(done, total, record)`` is invoked after every
-        newly simulated fault (serial and parallel).
+        The shard slice is the deterministic round-robin subset
+        ``faults[shard_index::shard_count]`` — probability-ranked fault
+        lists spread their expensive early faults evenly across shards.
+        Checkpointing and sharding both require unique fault ids (run
+        ``FaultList.merge_equivalent()`` first).
         """
+        from .executors import (CampaignPlan, record_from_payload,
+                                validate_shard_spec)
+
         if not len(self.fault_list):
             raise CampaignError("the fault list is empty")
-        start = _time.perf_counter()
-
+        validate_shard_spec(shard_index, shard_count)
         faults = list(self.fault_list)
-        checkpoint_store = None
+        indices = list(range(len(faults)))[shard_index::shard_count]
         fingerprint = ""
         completed: dict[int, dict] = {}
-        if checkpoint is not None:
-            from .checkpoint import CampaignCheckpoint, campaign_fingerprint
+        if checkpoint is not None or shard_count > 1:
+            from .checkpoint import campaign_fingerprint
 
-            checkpoint_store = (
-                checkpoint if isinstance(checkpoint, CampaignCheckpoint)
-                else CampaignCheckpoint(checkpoint))
             ids = [fault.fault_id for fault in faults]
             if len(set(ids)) != len(ids):
                 raise CampaignError(
-                    "checkpointing needs unique fault ids to key records; "
-                    "merge the fault list first (merge_equivalent())")
+                    "checkpointing and sharding need unique fault ids to "
+                    "key records; merge the fault list first "
+                    "(merge_equivalent())")
             fingerprint = campaign_fingerprint(self.circuit, self.fault_list,
                                                self.settings)
-            completed = checkpoint_store.load(fingerprint)
+        if checkpoint is not None:
+            from .checkpoint import CampaignCheckpoint
 
+            completed = CampaignCheckpoint.coerce(checkpoint).load(fingerprint)
+        preloaded: dict[int, FaultSimulationRecord] = {}
+        pending: list[int] = []
+        for index in indices:
+            payload = completed.get(faults[index].fault_id)
+            if payload is None:
+                pending.append(index)
+            else:
+                preloaded[index] = record_from_payload(faults[index], payload)
+        return CampaignPlan(faults=faults, indices=indices, pending=pending,
+                            preloaded=preloaded, fingerprint=fingerprint,
+                            shard_index=shard_index, shard_count=shard_count)
+
+    def run(self, workers: int = 1, progress_callback=None,
+            checkpoint=None, executor=None) -> CampaignResult:
+        """Run the whole campaign: plan, execute, collect.
+
+        The *plan* stage (:meth:`plan`) partitions the fault list against
+        ``checkpoint`` (a path or a
+        :class:`~repro.anafault.checkpoint.CampaignCheckpoint`): every
+        finished record is persisted as it completes and, on a restart
+        with the same circuit + fault list + settings, the fault ids
+        already on disk are skipped — the merged result is
+        indistinguishable from an uninterrupted run (timing telemetry
+        aside).  A checkpoint written by a *different* campaign raises
+        :class:`~repro.errors.CampaignError` instead of mixing results.
+
+        The *execute* stage is pluggable
+        (:mod:`repro.anafault.executors`): ``executor`` defaults to a
+        ``PoolExecutor(workers)`` when ``workers > 1`` — a process pool
+        with the shared-memory nominal (section II mentions the
+        workstation-cluster parallelisation of AnaFAULT; fault-level
+        parallelism is embarrassingly parallel) — and a ``SerialExecutor``
+        otherwise.  Pass a ``ShardExecutor`` to run one cross-host shard;
+        its slice and JSONL output path (the reserved
+        ``shard_index``/``shard_count``/``checkpoint`` executor
+        attributes) are honoured automatically.  ``workers`` only selects
+        the default executor: combining it with an explicit ``executor``
+        raises — parallelism belongs to the executor
+        (``ShardExecutor(..., workers=N)``, ``PoolExecutor(N)``).
+
+        The *collect* stage assembles the ordered records, the executor's
+        telemetry and the timings into the :class:`CampaignResult`.
+
+        ``progress_callback(done, total, record)`` is invoked once per
+        fault of this run's slice: up front for every checkpoint-skipped
+        fault (with the reloaded record), then after every newly simulated
+        one — so a resumed campaign reports monotone ``done/total``
+        progress from its very first event instead of starting mid-count.
+        """
+        from .executors import PoolExecutor, SerialExecutor
+
+        if executor is None:
+            executor = PoolExecutor(workers) if workers > 1 else SerialExecutor()
+        elif workers != 1:
+            raise CampaignError(
+                "run(workers=..., executor=...) is ambiguous: give the "
+                "worker count to the executor instead (PoolExecutor(N), "
+                "ShardExecutor(..., workers=N))")
+        executor_checkpoint = getattr(executor, "checkpoint", None)
+        if checkpoint is None:
+            # A ShardExecutor brings its own JSONL output file.
+            checkpoint = executor_checkpoint
+        elif executor_checkpoint is not None:
+            raise CampaignError(
+                "run(checkpoint=..., executor=...) is ambiguous: the "
+                "executor already declares its own shard output file — "
+                "pass the path to the executor only")
+        shard_index = int(getattr(executor, "shard_index", 0))
+        shard_count = int(getattr(executor, "shard_count", 1))
+
+        start = _time.perf_counter()
+        checkpoint_store = None
+        if checkpoint is not None:
+            from .checkpoint import CampaignCheckpoint, read_header
+
+            checkpoint_store = CampaignCheckpoint.coerce(checkpoint)
+            header = read_header(checkpoint_store.path)
+            if header is not None:
+                # The campaign fingerprint does not cover the shard spec
+                # (all shards share one identity), so an existing file run
+                # under a different slice would resume cleanly and then
+                # silently mix records from two shard layouts; refuse here
+                # instead of producing a confusing merge failure later.
+                recorded = (int(header.get("shard_index", 0)),
+                            int(header.get("shard_count", 1)))
+                if recorded != (shard_index, shard_count):
+                    raise CampaignError(
+                        f"checkpoint {checkpoint_store.path} was written by "
+                        f"shard {recorded[0]}/{recorded[1]} but this run is "
+                        f"shard {shard_index}/{shard_count}; use a fresh "
+                        "file per shard slice")
+
+        plan = self.plan(checkpoint=checkpoint_store,
+                         shard_index=shard_index, shard_count=shard_count)
         nominal = self.run_nominal()
-        # ``workers`` is updated to the pool size actually used if the
-        # parallel branch runs (a fully-resumed campaign stays serial even
-        # when more workers were requested).
+
+        records: list[FaultSimulationRecord | None] = [None] * len(plan.faults)
+        done = 0
+        for index in sorted(plan.preloaded):
+            records[index] = plan.preloaded[index]
+            done += 1
+            if progress_callback is not None:
+                progress_callback(done, plan.total, records[index])
+
+        try:
+            if checkpoint_store is not None:
+                extra = ({"shard_index": plan.shard_index,
+                          "shard_count": plan.shard_count}
+                         if plan.sharded else None)
+                checkpoint_store.start(plan.fingerprint,
+                                       campaign=self.fault_list.name,
+                                       extra=extra)
+
+            def emit(index: int, record: FaultSimulationRecord) -> None:
+                nonlocal done
+                records[index] = record
+                if checkpoint_store is not None:
+                    checkpoint_store.append(record)
+                done += 1
+                if progress_callback is not None:
+                    progress_callback(done, plan.total, record)
+
+            info = executor.execute(self, plan, nominal, emit)
+        finally:
+            if checkpoint_store is not None:
+                checkpoint_store.close()
+
         result = CampaignResult(settings=self.settings,
                                 fault_list=self.fault_list,
                                 nominal=nominal,
                                 nominal_elapsed_seconds=self._nominal_elapsed,
                                 nominal_stats=dict(self._nominal_stats),
-                                workers=1)
-
-        records: list[FaultSimulationRecord | None] = [None] * len(faults)
-        pending: list[int] = []
-        for index, fault in enumerate(faults):
-            payload = completed.get(fault.fault_id)
-            if payload is None:
-                pending.append(index)
-            else:
-                records[index] = self._record_from_checkpoint(fault, payload)
-        result.checkpoint_skipped = len(faults) - len(pending)
-
-        done = len(faults) - len(pending)
-        try:
-            if checkpoint_store is not None:
-                checkpoint_store.start(fingerprint,
-                                       campaign=self.fault_list.name)
-            if workers <= 1 or len(pending) <= 1:
-                for index in pending:
-                    record = self.simulate_fault(faults[index], nominal)
-                    records[index] = record
-                    if checkpoint_store is not None:
-                        checkpoint_store.append(record)
-                    done += 1
-                    if progress_callback is not None:
-                        progress_callback(done, len(faults), record)
-            else:
-                from .parallel import iter_faults_parallel
-                from .streaming import publish_nominal
-
-                result.workers = min(workers, len(pending))
-                store = publish_nominal(
-                    nominal,
-                    shared=getattr(self.settings, "use_shared_memory", True))
-                try:
-                    result.nominal_store = store.kind
-                    result.nominal_ipc_bytes = store.payload_bytes()
-                    stream = iter_faults_parallel(
-                        self.circuit, [faults[i] for i in pending],
-                        self.settings, store, workers)
-                    try:
-                        for index, record in zip(pending, stream):
-                            records[index] = record
-                            if checkpoint_store is not None:
-                                checkpoint_store.append(record)
-                            done += 1
-                            if progress_callback is not None:
-                                progress_callback(done, len(faults), record)
-                    finally:
-                        # zip() leaves the generator suspended inside its
-                        # pool context; close it so the pool shuts down
-                        # before the shared segment is unlinked.
-                        stream.close()
-                finally:
-                    store.dispose()
-        finally:
-            if checkpoint_store is not None:
-                checkpoint_store.close()
+                                workers=info.workers,
+                                executor=info.executor,
+                                shard_index=plan.shard_index,
+                                shard_count=plan.shard_count)
         result.records = records
+        result.checkpoint_skipped = plan.skipped
+        result.nominal_store = info.nominal_store
+        result.nominal_ipc_bytes = info.nominal_ipc_bytes
         result.total_elapsed_seconds = _time.perf_counter() - start
         return result
 

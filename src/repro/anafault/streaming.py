@@ -8,7 +8,9 @@ waveforms into one :mod:`multiprocessing.shared_memory` block; pickling the
 store transports only the segment *name* plus a small layout table, and each
 worker attaches to the same physical pages — N workers pay one copy total.
 
-:func:`publish_nominal` is the entry point used by the campaign layer.  It
+:func:`publish_nominal` is the entry point used by the campaign layer
+(:class:`repro.anafault.executors.PoolExecutor` publishes once per pool
+run).  It
 degrades cleanly: when shared memory is unavailable (platform without
 ``/dev/shm``, an environment that forbids segment creation, or an explicit
 ``shared=False``) it returns an :class:`InlineNominalStore` that simply

@@ -215,6 +215,90 @@ class TestComparator:
         with pytest.raises(ValueError):
             ToleranceSettings(amplitude=-1.0)
 
+    def test_vectorised_run_lengths_match_reference_loop(self):
+        """The cumsum/reset persistence scan must agree with the obvious
+        per-sample Python loop it replaced, on adversarial patterns."""
+        from repro.anafault.comparator import _run_lengths
+
+        def reference(exceeds):
+            run, count = [], 0
+            for flag in exceeds:
+                count = count + 1 if flag else 0
+                run.append(count)
+            return run
+
+        rng = np.random.default_rng(42)
+        patterns = [
+            np.zeros(17, dtype=bool),
+            np.ones(17, dtype=bool),
+            np.array([True]),
+            np.array([False]),
+            np.arange(40) % 3 == 0,
+            rng.random(500) > 0.5,
+            rng.random(500) > 0.05,
+            rng.random(500) > 0.95,
+        ]
+        for exceeds in patterns:
+            assert list(_run_lengths(exceeds)) == reference(exceeds)
+        # ... and the 2-D (faults x samples) form scans each row alone.
+        stacked = np.stack([p for p in patterns if p.size == 500])
+        rows = _run_lengths(stacked)
+        for row, exceeds in zip(rows, stacked):
+            assert list(row) == reference(exceeds)
+
+    def test_compare_batch_matches_per_waveform_compare(self):
+        t, nominal = self._waves()
+        comparator = WaveformComparator()
+        rng = np.random.default_rng(7)
+        faulty = [Waveform(t, nominal.y.copy())]                 # identical
+        stuck = np.zeros_like(t)
+        faulty.append(Waveform(t, stuck))                        # stuck low
+        glitchy = nominal.y.copy()
+        glitchy[100:105] += 4.0
+        faulty.append(Waveform(t, glitchy))                      # filtered
+        late = nominal.y.copy()
+        late[200:250] += 4.0
+        faulty.append(Waveform(t, late))                         # detected
+        faulty.append(Waveform(t, nominal.y + rng.normal(0, 3, t.size)))
+        batch = comparator.compare_batch(nominal, faulty, signal="11")
+        singles = [comparator.compare(nominal, wave, signal="11")
+                   for wave in faulty]
+        assert [r.detected for r in batch] == [r.detected for r in singles]
+        assert [r.detection_time for r in batch] == \
+            [r.detection_time for r in singles]
+        assert [r.max_deviation for r in batch] == \
+            pytest.approx([r.max_deviation for r in singles])
+        assert all(r.signal == "11" for r in batch)
+
+    def test_compare_batch_empty_and_mismatched_grid(self):
+        t, nominal = self._waves()
+        comparator = WaveformComparator()
+        assert comparator.compare_batch(nominal, []) == []
+        other = Waveform(t[:-1], nominal.y[:-1])
+        with pytest.raises(ValueError, match="one time grid"):
+            comparator.compare_batch(nominal, [nominal, other])
+
+    def test_compare_batch_zero_sample_waveforms_match_compare(self):
+        """A failed/truncated transient's empty trace must yield the same
+        undetected verdict compare() returns, not a numpy crash."""
+        _t, nominal = self._waves()
+        comparator = WaveformComparator()
+        empty = Waveform(np.array([]), np.array([]))
+        single = comparator.compare(nominal, empty)
+        [batch] = comparator.compare_batch(nominal, [empty])
+        assert (batch.detected, batch.detection_time, batch.max_deviation) \
+            == (single.detected, single.detection_time, single.max_deviation)
+        assert not batch.detected
+
+    def test_compare_batch_zero_time_tolerance(self):
+        t, nominal = self._waves()
+        faulty = nominal.y.copy()
+        faulty[50] += 5.0
+        comparator = WaveformComparator(ToleranceSettings(2.0, 0.0))
+        [result] = comparator.compare_batch(nominal, [Waveform(t, faulty)])
+        assert result.detected
+        assert result.detection_time == pytest.approx(t[50])
+
 
 class TestCoverage:
     def _coverage(self):
