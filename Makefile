@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench bench-smoke docs-check lint
+.PHONY: test bench bench-smoke docs-check lint lint-static lint-examples
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -26,3 +26,21 @@ docs-check:
 ## lint with the committed configuration (needs ruff installed)
 lint:
 	ruff check .
+
+## repo-specific static checks: the custom AST rules always, mypy strict
+## frontier when mypy is installed (CI always has it; see pyproject.toml)
+lint-static:
+	$(PYTHON) tools/repro_lint.py
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed; skipping the typed-API check"; \
+	fi
+
+## netlist/fault-list ERC over the example circuits (the CI lint step)
+lint-examples:
+	set -e; for netlist in examples/netlists/*.cir; do \
+		$(PYTHON) -m repro.anafault lint $$netlist; \
+	done
+	$(PYTHON) -m repro.anafault lint examples/netlists/vco.cir \
+		examples/netlists/vco.lift

@@ -64,10 +64,16 @@ def _legacy_neutral_defaults() -> dict:
     therefore the fingerprint.  Consequence: the defaults of the listed
     fields are frozen — changing them silently would let a checkpoint
     resume under different simulation semantics.
+
+    ``preflight`` rides the same mechanism: the library default
+    (``"warn"``) keeps pre-upgrade fingerprints byte-identical, while a
+    campaign pinned to ``"error"``/``"off"`` records that policy in its
+    identity (the ``run``/``shard`` CLI defaults to ``"error"``, so
+    resuming a pre-upgrade CLI checkpoint needs ``--preflight warn``).
     """
     from ..spice import TransientOptions
 
-    return {"timestep": TransientOptions()}
+    return {"timestep": TransientOptions(), "preflight": "warn"}
 
 
 def _settings_text(settings) -> str:

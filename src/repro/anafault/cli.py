@@ -17,6 +17,12 @@ plan/execute/collect stages of :mod:`repro.anafault.executors`:
     holes, optionally re-emitting the merged records as a checkpoint file
     (``--out``) and verifying them against a reference run (``--verify``).
 
+A fourth subcommand, ``lint``, runs the static analyzer (:mod:`repro.lint`)
+over a netlist and optional fault-list file without simulating anything;
+``run`` and ``shard`` apply the same checks as their campaign preflight
+(``--preflight error|warn|off``, default ``error``) and refuse to start a
+campaign whose netlist or fault list carries error-severity diagnostics.
+
 A minimal two-host session (see ``docs/campaigns.md`` for the full
 walkthrough)::
 
@@ -40,16 +46,19 @@ repeated identically on every host.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
 from ..errors import ReproError
 from ..lift.faultlist import FaultList
+from ..lint import lint_fault_list, lint_netlist_text
 from ..spice.parser import parse_netlist_file
 from ..units import parse_value
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
 from .comparator import ToleranceSettings
 from .executors import ShardExecutor, merge_shards
+from .models import RESISTOR_MODEL, SOURCE_MODEL, FaultModelOptions
 from .report import format_overview
 from .simulator import CampaignResult, CampaignSettings, FaultSimulator
 
@@ -65,7 +74,9 @@ def _engineering_value(text: str) -> float:
     try:
         return parse_value(text)
     except ReproError as exc:
-        raise argparse.ArgumentTypeError(str(exc)) from exc
+        # ArgumentTypeError is the argparse protocol for usage errors.
+        raise argparse.ArgumentTypeError(
+            str(exc)) from exc  # repro-lint: allow=raise-type
 
 
 def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
@@ -102,6 +113,14 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     simulate.add_argument("--top", type=int, default=None, metavar="N",
                           help="simulate only the N most probable faults "
                           "(applied identically on every host)")
+    simulate.add_argument("--preflight", default="error",
+                          choices=("error", "warn", "off"),
+                          help="static campaign preflight (repro.lint): "
+                          "'error' refuses to run on error-severity "
+                          "diagnostics, 'warn' prints them and proceeds, "
+                          "'off' skips the analysis (default: %(default)s; "
+                          "the library API defaults to 'warn' — resuming a "
+                          "pre-upgrade checkpoint needs --preflight warn)")
 
 
 def _load_campaign(args) -> FaultSimulator:
@@ -144,7 +163,8 @@ def _load_campaign(args) -> FaultSimulator:
         initial_conditions=dict(parsed.initial_conditions),
         tolerances=ToleranceSettings(args.amplitude_tolerance,
                                      float(args.time_tolerance)),
-        solver_backend=args.solver_backend)
+        solver_backend=args.solver_backend,
+        preflight=args.preflight)
     return FaultSimulator(parsed.circuit, fault_list, settings)
 
 
@@ -209,9 +229,20 @@ def _verify_against(result: CampaignResult, reference_path,
 # Subcommands
 # ---------------------------------------------------------------------------
 
+def _print_preflight(result: CampaignResult, out) -> None:
+    """Surface the preflight diagnostics a ``warn``-mode campaign carried
+    through anyway (``error`` mode never reaches this point: the refusal
+    lists every diagnostic in the :class:`~repro.errors.PreflightError`)."""
+    for diagnostic in result.preflight_diagnostics:
+        print(f"preflight: {diagnostic.format()}", file=out)
+    if result.preflight_diagnostics:
+        print("", file=out)
+
+
 def _cmd_run(args, out) -> int:
     simulator = _load_campaign(args)
     result = simulator.run(workers=args.workers, checkpoint=args.checkpoint)
+    _print_preflight(result, out)
     print(format_overview(result), file=out)
     return 0
 
@@ -222,6 +253,7 @@ def _cmd_shard(args, out) -> int:
                              shard_count=args.shard_count,
                              path=args.out, workers=args.workers)
     result = simulator.run(executor=executor)
+    _print_preflight(result, out)
     counts = ", ".join(f"{status}={count}" for status, count
                        in sorted(result.count_by_status().items()))
     print(f"shard {args.shard_index}/{args.shard_count}: "
@@ -281,6 +313,37 @@ def _cmd_merge(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    """Static campaign preflight as a standalone subcommand.
+
+    Unlike ``run``/``shard`` this never simulates, so no transient window
+    (``.tran`` card or ``--tstop/--tstep``) is required — a netlist alone
+    is a valid lint target, a fault-list file extends the analysis to the
+    campaign.  Exit code 0 means clean (or warnings only), 1 means at
+    least one error-severity diagnostic, 2 means the inputs themselves
+    could not be read.
+    """
+    text = pathlib.Path(args.netlist).read_text(encoding="utf-8")
+    circuit, report = lint_netlist_text(text)
+    if args.faults is not None:
+        fault_list = FaultList.loads(
+            pathlib.Path(args.faults).read_text(encoding="utf-8"),
+            name="campaign fault list")
+        if circuit is not None:
+            model = (FaultModelOptions.source()
+                     if args.fault_model == SOURCE_MODEL
+                     else FaultModelOptions.resistor())
+            report.extend(lint_fault_list(circuit, fault_list, model))
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        if len(report):
+            print(report.format_text(), file=out)
+        print(f"{args.netlist}: {report.summary()}", file=out)
+    return 1 if report.has_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.anafault`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -328,6 +391,24 @@ def build_parser() -> argparse.ArgumentParser:
     merge.add_argument("--verify", default=None, metavar="PATH",
                        help="compare verdicts against a reference "
                        "checkpoint (exit 1 on any mismatch)")
+
+    lint = commands.add_parser(
+        "lint", help="statically check a netlist (and fault list)",
+        description="Run the static analyzer (repro.lint) over a netlist "
+        "and, optionally, a LIFT fault-list file — the same checks "
+        "run/shard apply as their campaign preflight, without simulating "
+        "anything.  Exit 0: clean or warnings only; exit 1: error-severity "
+        "diagnostics; exit 2: unreadable inputs.")
+    lint.add_argument("netlist", help="SPICE netlist to check")
+    lint.add_argument("faults", nargs="?", default=None,
+                      help="optional LIFT fault-list file to check against "
+                      "the netlist")
+    lint.add_argument("--format", default="text", choices=("text", "json"),
+                      help="report format (default: %(default)s)")
+    lint.add_argument("--fault-model", default=RESISTOR_MODEL,
+                      choices=(RESISTOR_MODEL, SOURCE_MODEL),
+                      help="fault model assumed by the fault-topology rule "
+                      "(default: %(default)s)")
     return parser
 
 
@@ -338,7 +419,7 @@ def main(argv=None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = {"run": _cmd_run, "shard": _cmd_shard,
-               "merge": _cmd_merge}[args.command]
+               "merge": _cmd_merge, "lint": _cmd_lint}[args.command]
     try:
         return handler(args, out)
     except (ReproError, OSError, ValueError) as exc:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import CampaignError
 from ..spice.waveform import Waveform
 
 
@@ -45,7 +46,7 @@ class ToleranceSettings:
 
     def __post_init__(self):
         if self.amplitude < 0.0 or self.time < 0.0:
-            raise ValueError("tolerances must be non-negative")
+            raise CampaignError("tolerances must be non-negative")
 
 
 @dataclass
@@ -113,8 +114,8 @@ class WaveformComparator:
         window scan runs over the whole matrix at once, shaving the
         post-processing tail of big campaigns.  Verdicts and detection
         times are identical to per-waveform :meth:`compare` calls; a
-        mismatched grid raises :class:`ValueError` instead of silently
-        comparing unrelated samples.
+        mismatched grid raises :class:`~repro.errors.CampaignError` instead
+        of silently comparing unrelated samples.
         """
         if not faulty:
             return []
@@ -123,7 +124,7 @@ class WaveformComparator:
         for row, wave in enumerate(faulty):
             x = np.asarray(wave.x, dtype=float)
             if x.size != times.size or not np.array_equal(x, times):
-                raise ValueError(
+                raise CampaignError(
                     "compare_batch needs all faulty waveforms on one time "
                     f"grid; waveform {row} differs from waveform 0")
             stacked[row] = np.asarray(wave.y, dtype=float)

@@ -117,6 +117,15 @@ class CampaignPlan:
     fingerprint: str = ""
     shard_index: int = 0
     shard_count: int = 1
+    #: Preflight mode the plan was built under (``"error"``, ``"warn"`` or
+    #: ``"off"``); travels into the campaign result and its telemetry.
+    preflight: str = "warn"
+    #: Diagnostics the campaign preflight reported (empty when the mode is
+    #: ``"off"`` or the inputs are clean).  In ``"error"`` mode
+    #: :meth:`~repro.anafault.FaultSimulator.plan` raises
+    #: :class:`~repro.errors.PreflightError` instead of building a plan
+    #: that carries error-severity diagnostics.
+    diagnostics: tuple = ()
 
     @property
     def total(self) -> int:

@@ -38,7 +38,7 @@ class FaultModelOptions:
     short_resistance: float = DEFAULT_SHORT_RESISTANCE
     open_resistance: float = DEFAULT_OPEN_RESISTANCE
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.model not in (RESISTOR_MODEL, SOURCE_MODEL):
             raise FaultError(f"unknown fault model {self.model!r}")
         if self.short_resistance < 0.0 or self.open_resistance <= 0.0:

@@ -17,7 +17,8 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field, replace
 
-from ..errors import CampaignError, ConvergenceError, SingularMatrixError
+from ..errors import (CampaignError, ConvergenceError, PreflightError,
+                      SingularMatrixError)
 from ..lift.faultlist import FaultList
 from ..lift.faults import Fault
 from ..spice import (Circuit, SimulationOptions, TransientAnalysis,
@@ -33,6 +34,11 @@ STATUS_DETECTED = "detected"
 STATUS_UNDETECTED = "undetected"
 STATUS_SIM_FAILED = "sim_failed"
 STATUS_INJECTION_FAILED = "injection_failed"
+
+#: Campaign preflight modes: ``"error"`` refuses to plan on error-severity
+#: diagnostics, ``"warn"`` records the diagnostics and proceeds, ``"off"``
+#: skips the static analysis entirely.
+PREFLIGHT_MODES = ("error", "warn", "off")
 
 
 @dataclass
@@ -96,6 +102,15 @@ campaign_fingerprint`) — two campaigns resume from the same checkpoint file
     #: per worker; falls back to the pickled copy automatically where
     #: shared memory is unavailable.
     use_shared_memory: bool = True
+    #: Campaign preflight mode (:data:`PREFLIGHT_MODES`): run the static
+    #: analyzer (:mod:`repro.lint`) over the netlist and fault list before
+    #: anything is simulated.  ``"warn"`` (the library default) records the
+    #: diagnostics on the plan and result; ``"error"`` makes
+    #: :meth:`FaultSimulator.plan` raise
+    #: :class:`~repro.errors.PreflightError` on error-severity findings
+    #: (the ``run``/``shard`` CLI defaults to it); ``"off"`` skips the
+    #: analysis.  Part of the campaign fingerprint when non-default.
+    preflight: str = "warn"
 
 
 @dataclass
@@ -171,6 +186,11 @@ class CampaignResult:
     #: other shards (every aggregate tolerates them).
     shard_index: int = 0
     shard_count: int = 1
+    #: Preflight mode the campaign ran under (:data:`PREFLIGHT_MODES`).
+    preflight: str = "warn"
+    #: Diagnostics the campaign preflight reported
+    #: (:class:`repro.lint.Diagnostic` tuple; empty when clean or off).
+    preflight_diagnostics: tuple = ()
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
@@ -208,7 +228,8 @@ class CampaignResult:
         try:
             return self._fault_index[fault_id]
         except KeyError:
-            raise KeyError(
+            # KeyError is this method's documented mapping-protocol contract.
+            raise KeyError(  # repro-lint: allow=raise-type
                 f"no record for fault id {fault_id} (campaign has records "
                 f"for {len(self._fault_index)} faults)") from None
 
@@ -271,6 +292,13 @@ class CampaignResult:
             "trace_bytes_max": max((int(r.trace_bytes or 0) for r in records),
                                    default=0),
             "checkpoint_skipped": self.checkpoint_skipped,
+            "preflight": self.preflight,
+            "preflight_errors": sum(
+                1 for d in self.preflight_diagnostics
+                if getattr(d, "severity", "") == "error"),
+            "preflight_warnings": sum(
+                1 for d in self.preflight_diagnostics
+                if getattr(d, "severity", "") == "warning"),
         }
 
     def count_by_status(self) -> dict[str, int]:
@@ -412,12 +440,25 @@ class FaultSimulator:
     # The campaign pipeline: plan -> execute -> collect
     # ------------------------------------------------------------------
     def plan(self, checkpoint=None, shard_index: int = 0,
-             shard_count: int = 1):
+             shard_count: int = 1, preflight: str | None = None):
         """Build the :class:`~repro.anafault.executors.CampaignPlan` of one
         run: this run's (possibly sharded) slice of the fault list, the
         skipped/pending partition derived from ``checkpoint`` (a path or
         :class:`~repro.anafault.CampaignCheckpoint`), and the campaign
         fingerprint.
+
+        Before anything else the *campaign preflight* runs the static
+        analyzer (:func:`repro.lint.preflight_campaign`) over the netlist
+        and fault list.  ``preflight`` selects the mode
+        (:data:`PREFLIGHT_MODES`); ``None`` uses
+        ``settings.preflight``, and an explicit value is stored back onto
+        the settings (like the ``solver_backend`` override) so the
+        campaign fingerprint and pool workers see it.  In ``"error"``
+        mode, error-severity diagnostics raise
+        :class:`~repro.errors.PreflightError` whose message lists *every*
+        diagnostic; in ``"warn"`` mode they are recorded on the plan
+        (:attr:`~repro.anafault.executors.CampaignPlan.diagnostics`)
+        and later the result/telemetry.
 
         The shard slice is the deterministic round-robin subset
         ``faults[shard_index::shard_count]`` — probability-ranked fault
@@ -431,6 +472,28 @@ class FaultSimulator:
         if not len(self.fault_list):
             raise CampaignError("the fault list is empty")
         validate_shard_spec(shard_index, shard_count)
+        if preflight is not None and preflight != self.settings.preflight:
+            self.settings = replace(self.settings, preflight=preflight)
+        mode = self.settings.preflight
+        if mode not in PREFLIGHT_MODES:
+            raise CampaignError(
+                f"unknown preflight mode {mode!r}; expected one of "
+                f"{', '.join(PREFLIGHT_MODES)}")
+        diagnostics: tuple = ()
+        if mode != "off":
+            from ..lint import preflight_campaign
+
+            report = preflight_campaign(self.circuit, self.fault_list,
+                                        self.settings.fault_model)
+            diagnostics = report.diagnostics
+            if mode == "error" and report.has_errors:
+                raise PreflightError(
+                    f"campaign preflight refused "
+                    f"{self.fault_list.name!r}: {report.summary()}\n"
+                    f"{report.format_text()}\n"
+                    "(run with preflight='warn' to proceed anyway, or "
+                    "preflight='off' to skip the analysis)",
+                    diagnostics)
         faults = list(self.fault_list)
         indices = list(range(len(faults)))[shard_index::shard_count]
         fingerprint = ""
@@ -460,7 +523,8 @@ class FaultSimulator:
                 preloaded[index] = record_from_payload(faults[index], payload)
         return CampaignPlan(faults=faults, indices=indices, pending=pending,
                             preloaded=preloaded, fingerprint=fingerprint,
-                            shard_index=shard_index, shard_count=shard_count)
+                            shard_index=shard_index, shard_count=shard_count,
+                            preflight=mode, diagnostics=diagnostics)
 
     def run(self, workers: int = 1, progress_callback=None,
             checkpoint=None, executor=None) -> CampaignResult:
@@ -585,7 +649,9 @@ class FaultSimulator:
                                 workers=info.workers,
                                 executor=info.executor,
                                 shard_index=plan.shard_index,
-                                shard_count=plan.shard_count)
+                                shard_count=plan.shard_count,
+                                preflight=plan.preflight,
+                                preflight_diagnostics=plan.diagnostics)
         result.records = records
         result.checkpoint_skipped = plan.skipped
         result.nominal_store = info.nominal_store

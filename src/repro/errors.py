@@ -2,9 +2,15 @@
 
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures without catching programming errors.
+(``tools/repro_lint.py`` enforces this invariant over ``src/repro``.)
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .lint import Diagnostic
 
 
 class ReproError(Exception):
@@ -39,7 +45,8 @@ class ConvergenceError(AnalysisError):
         Name of the node with the largest remaining update, if known.
     """
 
-    def __init__(self, message: str, iterations: int = 0, worst_node: str | None = None):
+    def __init__(self, message: str, iterations: int = 0,
+                 worst_node: str | None = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.worst_node = worst_node
@@ -91,3 +98,24 @@ class FaultInjectionError(FaultError):
 
 class CampaignError(ReproError):
     """A fault-simulation campaign could not be run or post-processed."""
+
+
+class LintError(ReproError):
+    """The static analyzer was misconfigured (unknown rule code, bad
+    severity); *not* used for the defects the analyzer reports — those are
+    :class:`repro.lint.Diagnostic` values, never exceptions."""
+
+
+class PreflightError(CampaignError):
+    """Campaign preflight refused to run the campaign.
+
+    Raised by ``FaultSimulator.plan(preflight="error")`` when the static
+    analyzer reports error-severity diagnostics.  The message lists *every*
+    diagnostic (not just the first), and :attr:`diagnostics` carries the
+    structured :class:`repro.lint.Diagnostic` list for tooling.
+    """
+
+    def __init__(self, message: str,
+                 diagnostics: "Sequence[Diagnostic]" = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)

@@ -1,0 +1,44 @@
+"""Static campaign preflight: netlist ERC and fault-list analysis.
+
+The analyzer finds, *before any transient is run*, the defects that would
+otherwise surface hours into a campaign: netlist topologies guaranteed to
+raise :class:`~repro.errors.SingularMatrixError`, fault records whose
+injection must fail, and statically-equivalent faults that waste simulation
+budget.  ``FaultSimulator.plan()`` runs it as the campaign *preflight*;
+``python -m repro.anafault lint`` exposes it standalone.
+
+Typical use::
+
+    from repro.lint import lint_netlist_text
+
+    circuit, report = lint_netlist_text(netlist_text)
+    if report.has_errors:
+        print(report.format_text())
+"""
+
+from __future__ import annotations
+
+from .diagnostics import (SEVERITIES, SEVERITY_ERROR, SEVERITY_WARNING,
+                          Diagnostic, LintReport)
+from .engine import (lint_circuit, lint_fault_list, lint_netlist_text,
+                     preflight_campaign)
+from .fault_rules import FaultListContext
+from .registry import (LintConfig, LintRule, all_rules, get_rule, rules_for)
+
+__all__ = [
+    "Diagnostic",
+    "FaultListContext",
+    "LintConfig",
+    "LintReport",
+    "LintRule",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "all_rules",
+    "get_rule",
+    "lint_circuit",
+    "lint_fault_list",
+    "lint_netlist_text",
+    "preflight_campaign",
+    "rules_for",
+]

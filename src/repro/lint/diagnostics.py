@@ -1,0 +1,123 @@
+"""The diagnostic data model of the static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable machine-readable code, a
+severity, the circuit/fault location it anchors to, a human message and an
+optional fix-it hint.  A :class:`LintReport` is an ordered collection of
+diagnostics with the aggregation and formatting helpers every consumer
+(campaign preflight, the ``lint`` CLI subcommand, tests) shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+#: Severity of a diagnostic that refuses a campaign under
+#: ``preflight="error"`` (and makes the ``lint`` CLI exit non-zero).
+SEVERITY_ERROR = "error"
+#: Severity of a diagnostic that is reported but never refuses a campaign.
+SEVERITY_WARNING = "warning"
+#: All recognised severities, most severe first.
+SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    #: Stable rule code (``"vsource-loop"``, ``"duplicate-fault-id"``, ...).
+    code: str
+    #: ``"error"`` or ``"warning"`` (:data:`SEVERITIES`).
+    severity: str
+    #: What the finding anchors to (``"node out"``, ``"device m1"``,
+    #: ``"fault #3"``); empty when it concerns the whole input.
+    location: str
+    #: Human-readable description of the defect.
+    message: str
+    #: Optional hint on how to repair the input.
+    fixit: str = ""
+
+    @property
+    def is_error(self) -> bool:
+        """Whether this diagnostic has error severity."""
+        return self.severity == SEVERITY_ERROR
+
+    def format(self) -> str:
+        """One-line human rendering (the ``lint`` CLI text format)."""
+        where = f" {self.location}" if self.location else ""
+        text = f"{self.severity}[{self.code}]{where}: {self.message}"
+        if self.fixit:
+            text += f" (fix: {self.fixit})"
+        return text
+
+    def to_json(self) -> Dict[str, str]:
+        """JSON-ready dict (the ``lint --format=json`` payload row)."""
+        return {"code": self.code, "severity": self.severity,
+                "location": self.location, "message": self.message,
+                "fixit": self.fixit}
+
+    def sort_key(self) -> Tuple[int, str, str, str]:
+        """Deterministic report order: errors first, then code/location."""
+        rank = (SEVERITIES.index(self.severity)
+                if self.severity in SEVERITIES else len(SEVERITIES))
+        return (rank, self.code, self.location, self.message)
+
+
+class LintReport:
+    """An ordered, aggregatable collection of diagnostics."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- collection protocol -------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        """Append one diagnostic."""
+        self._diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append many diagnostics."""
+        self._diagnostics.extend(diagnostics)
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """The findings in report order (errors first)."""
+        return tuple(sorted(self._diagnostics, key=Diagnostic.sort_key))
+
+    # -- aggregation ----------------------------------------------------
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        """The error-severity findings."""
+        return tuple(d for d in self.diagnostics if d.is_error)
+
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        """The warning-severity findings."""
+        return tuple(d for d in self.diagnostics if not d.is_error)
+
+    @property
+    def has_errors(self) -> bool:
+        """Whether any finding has error severity (refuses a campaign
+        under ``preflight="error"``)."""
+        return any(d.is_error for d in self._diagnostics)
+
+    # -- rendering ------------------------------------------------------
+    def summary(self) -> str:
+        """``"N error(s), M warning(s)"`` (the report's one-line tally)."""
+        return (f"{len(self.errors())} error(s), "
+                f"{len(self.warnings())} warning(s)")
+
+    def format_text(self) -> str:
+        """Multi-line human rendering: one line per finding + summary."""
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dict (the ``lint --format=json`` payload)."""
+        return {"diagnostics": [d.to_json() for d in self.diagnostics],
+                "errors": len(self.errors()),
+                "warnings": len(self.warnings())}

@@ -1,0 +1,208 @@
+"""Entry points of the static analyzer.
+
+Four passes, layered from raw text to full campaign:
+
+* :func:`lint_netlist_text` — textual pre-pass (duplicate/case-colliding
+  device names, which a parsed :class:`~repro.spice.Circuit` cannot
+  contain) followed by a parse attempt and, on success, the circuit ERC.
+* :func:`lint_circuit` — the netlist ERC rule family over a parsed
+  circuit.
+* :func:`lint_fault_list` — the fault-list rule family over a fault list
+  bound to its target circuit.
+* :func:`preflight_campaign` — circuit ERC plus fault-list analysis; what
+  ``FaultSimulator.plan()`` runs before touching a checkpoint.
+
+Every pass honours a :class:`~repro.lint.registry.LintConfig` (disabled
+rules, severity overrides) and returns a
+:class:`~repro.lint.diagnostics.LintReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..lift.faults import Fault
+from ..spice.netlist import Circuit
+from . import netlist_rules  # noqa: F401  (registers the ERC rule family)
+from .diagnostics import SEVERITY_ERROR, Diagnostic, LintReport
+from .fault_rules import FaultListContext
+from .registry import (FAMILY_FAULTLIST, FAMILY_NETLIST, FAMILY_NETLIST_TEXT,
+                       LintConfig, get_rule, register_builtin_rule,
+                       register_rule, rules_for)
+
+#: Element letters recognised by the netlist parser (see
+#: :mod:`repro.spice.parser`); anything else on a card start is a parse
+#: error, not a device.
+_ELEMENT_LETTERS = frozenset("rclvidmegfhsx")
+
+
+def _run_rules(family: str, subject: object,
+               config: LintConfig) -> List[Diagnostic]:
+    """Run the enabled rules of ``family`` over ``subject``.
+
+    A diagnostic keeps the severity its rule emitted (some rules, e.g.
+    ``fault-topology``, emit per-finding severities) unless the config
+    carries an explicit override for the rule code.
+    """
+    findings: List[Diagnostic] = []
+    for rule in rules_for(family):
+        if not config.enabled(rule):
+            continue
+        assert rule.check is not None
+        for diagnostic in rule.check(subject):
+            override = dict(config.severities).get(rule.code)
+            if override is not None and override != diagnostic.severity:
+                diagnostic = replace(diagnostic, severity=override)
+            findings.append(diagnostic)
+    return findings
+
+
+def lint_circuit(circuit: Circuit,
+                 config: Optional[LintConfig] = None) -> LintReport:
+    """Run the netlist ERC rule family over a parsed circuit."""
+    config = config or LintConfig()
+    config.validate()
+    return LintReport(_run_rules(FAMILY_NETLIST, circuit, config))
+
+
+def lint_fault_list(circuit: Circuit, faults: Iterable[Fault],
+                    model_options: Optional[object] = None,
+                    config: Optional[LintConfig] = None) -> LintReport:
+    """Run the fault-list rule family over ``faults`` targeting
+    ``circuit``."""
+    config = config or LintConfig()
+    config.validate()
+    context = FaultListContext(circuit, faults, model_options)
+    return LintReport(_run_rules(FAMILY_FAULTLIST, context, config))
+
+
+def preflight_campaign(circuit: Circuit, faults: Iterable[Fault],
+                       model_options: Optional[object] = None,
+                       config: Optional[LintConfig] = None) -> LintReport:
+    """The campaign preflight: netlist ERC plus fault-list analysis.
+
+    This is exactly what ``FaultSimulator.plan()`` evaluates before it
+    loads a checkpoint or simulates anything.
+    """
+    config = config or LintConfig()
+    config.validate()
+    report = LintReport(_run_rules(FAMILY_NETLIST, circuit, config))
+    context = FaultListContext(circuit, faults, model_options)
+    report.extend(_run_rules(FAMILY_FAULTLIST, context, config))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Netlist-text pre-pass
+# ---------------------------------------------------------------------------
+
+def _device_cards(text: str) -> Iterable[Tuple[int, str, Tuple[str, ...]]]:
+    """Yield ``(line_number, device_name, subckt_scope)`` per element card.
+
+    Mirrors the parser's preprocessing: the first non-blank,
+    non-comment, non-directive line is the title; ``*`` comments and
+    ``+`` continuations are skipped (a card's device name is always on
+    its first physical line); ``.subckt``/``.ends`` track the scope stack
+    because instances expand with per-instance prefixes, so equal names
+    in *different* subcircuits never collide.
+    """
+    scope: List[str] = []
+    title_seen = False
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line or line.startswith("*") or line.startswith("+"):
+            continue
+        lower = line.lower()
+        if lower.startswith("."):
+            tokens = line.split()
+            if lower.startswith(".subckt") and len(tokens) >= 2:
+                scope.append(tokens[1].lower())
+            elif lower.startswith(".ends") and scope:
+                scope.pop()
+            continue
+        if not title_seen:
+            title_seen = True
+            continue
+        if line[0].lower() in _ELEMENT_LETTERS and len(line.split()) > 1:
+            yield number, line.split()[0], tuple(scope)
+
+
+@register_rule("duplicate-device", FAMILY_NETLIST_TEXT, SEVERITY_ERROR,
+               "two element cards share a (case-insensitive) device name")
+def check_duplicate_device(text: str) -> Iterable[Diagnostic]:
+    """Flag duplicate or case-colliding device names in netlist text.
+
+    ``Circuit.add`` refuses the second card with a bare
+    :class:`~repro.errors.NetlistError`; this rule reports *both* line
+    numbers instead, and runs before the parse attempt so the collision
+    is reported even when the parse fails.
+    """
+    first_seen: dict[Tuple[Tuple[str, ...], str], Tuple[int, str]] = {}
+    for number, name, scope in _device_cards(text):
+        key = (scope, name.lower())
+        if key not in first_seen:
+            first_seen[key] = (number, name)
+            continue
+        original_line, original_name = first_seen[key]
+        detail = ("" if original_name == name
+                  else f" (case collision with {original_name!r})")
+        yield Diagnostic(
+            code="duplicate-device", severity=SEVERITY_ERROR,
+            location=f"line {number}",
+            message=(f"device name {name!r} already used on line "
+                     f"{original_line}{detail}; device names are "
+                     "case-insensitive"),
+            fixit="rename one of the devices")
+
+
+# The parse failure itself is reported through the registry so that its
+# code can be disabled or re-severitied like any other rule, but the
+# detection lives in the parser, not in a standalone check.
+register_builtin_rule("parse-error", FAMILY_NETLIST_TEXT, SEVERITY_ERROR,
+                      "the netlist text does not parse")
+
+
+def lint_netlist_text(text: str, config: Optional[LintConfig] = None
+                      ) -> Tuple[Optional[Circuit], LintReport]:
+    """Lint raw netlist text: text pre-pass, parse, then circuit ERC.
+
+    Returns the parsed circuit (``None`` when parsing failed) together
+    with the combined report.  A parse failure is reported as a
+    ``parse-error`` diagnostic rather than an exception so that the text
+    pre-pass findings still reach the user.
+    """
+    from ..spice.parser import parse_netlist
+
+    config = config or LintConfig()
+    config.validate()
+    report = LintReport(_run_rules(FAMILY_NETLIST_TEXT, text, config))
+    parse_rule = get_rule("parse-error")
+    circuit: Optional[Circuit] = None
+    if config.enabled(parse_rule):
+        try:
+            circuit = parse_netlist(text).circuit
+        except ReproError as error:
+            report.add(Diagnostic(
+                code="parse-error",
+                severity=config.severity_for(parse_rule),
+                location="", message=str(error),
+                fixit="fix the netlist syntax"))
+    else:
+        try:
+            circuit = parse_netlist(text).circuit
+        except ReproError:
+            circuit = None
+    if circuit is not None:
+        report.extend(_run_rules(FAMILY_NETLIST, circuit, config))
+    return circuit, report
+
+
+__all__ = [
+    "check_duplicate_device",
+    "lint_circuit",
+    "lint_fault_list",
+    "lint_netlist_text",
+    "preflight_campaign",
+]

@@ -1,0 +1,369 @@
+"""Netlist ERC rules: electrical-rule checks over a parsed circuit.
+
+Every rule here mirrors a concrete runtime behaviour of the simulator:
+
+* ``vsource-loop`` flags the topologies for which
+  :class:`~repro.errors.SingularMatrixError` is statically decidable — a
+  cycle of voltage-defined branches (V sources, E/H outputs, inductors at
+  DC) makes two MNA branch rows linearly dependent.
+* ``isource-cutset`` flags islands fed only by current-defined branches:
+  the ``gmin`` conductance keeps the matrix regular but pins the island at
+  the nonsensical potential ``V ~ I / gmin``.
+* ``floating-node`` / ``no-dc-path`` are warnings because the stamped
+  ``gmin`` on every node diagonal keeps those circuits solvable — the
+  solution is merely dominated by the artificial conductance.
+* ``undefined-model`` / ``model-kind`` / ``undefined-control`` /
+  ``negative-parameter`` / ``zero-geometry`` are the statically-decidable
+  causes of :class:`~repro.errors.ModelError` /
+  :class:`~repro.errors.NetlistError` raised by ``Device.prepare``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..spice.devices.controlled import (CurrentControlledCurrentSource,
+                                        CurrentControlledVoltageSource,
+                                        VoltageControlledCurrentSource,
+                                        VoltageControlledVoltageSource)
+from ..spice.devices.diode import Diode
+from ..spice.devices.mosfet import Mosfet
+from ..spice.devices.passives import Capacitor, Inductor, Resistor
+from ..spice.devices.sources import CurrentSource, VoltageSource
+from ..spice.devices.switch import VoltageControlledSwitch
+from ..spice.netlist import GROUND, Circuit
+from .diagnostics import SEVERITY_ERROR, SEVERITY_WARNING, Diagnostic
+from .registry import FAMILY_NETLIST, register_rule
+
+
+class UnionFind:
+    """Classic disjoint-set structure over hashable labels."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        """Return the representative of ``item``'s set (path compression)."""
+        root = item
+        while self._parent.setdefault(root, root) != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+    def connected(self, a: str, b: str) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def components(self) -> Tuple[Tuple[str, ...], ...]:
+        """All sets, each sorted, ordered by their smallest member."""
+        groups: Dict[str, List[str]] = {}
+        for item in list(self._parent):
+            groups.setdefault(self.find(item), []).append(item)
+        return tuple(tuple(sorted(g)) for g in
+                     sorted(groups.values(), key=min))
+
+
+def _conducting_edges(device: object) -> Iterator[Tuple[str, str]]:
+    """Node pairs joined by a branch that can carry current.
+
+    Current-defined outputs (I, F, G) are deliberately excluded — they set
+    a branch current without constraining the island potential, which is
+    exactly what the ``isource-cutset`` rule looks for.  Control/sense
+    terminal pairs (E/G inputs, switch control) carry no current either.
+    """
+    nodes: Sequence[str] = getattr(device, "nodes", ())
+    if isinstance(device, (Resistor, Capacitor, Inductor, VoltageSource,
+                           Diode)):
+        yield (nodes[0], nodes[1])
+    elif isinstance(device, (VoltageControlledVoltageSource,
+                             CurrentControlledVoltageSource,
+                             VoltageControlledSwitch)):
+        yield (nodes[0], nodes[1])
+    elif isinstance(device, Mosfet):
+        yield (nodes[0], nodes[2])  # drain-source channel
+
+
+def _dc_edges(device: object) -> Iterator[Tuple[str, str]]:
+    """Node pairs joined by a branch that conducts at DC.
+
+    Like :func:`_conducting_edges` but without capacitors, which are open
+    circuits in the operating-point analysis.
+    """
+    if isinstance(device, Capacitor):
+        return
+    yield from _conducting_edges(device)
+
+
+def _voltage_defined_edges(device: object) -> Iterator[Tuple[str, str]]:
+    """Node pairs whose voltage difference is pinned by a branch equation.
+
+    A cycle of such edges makes the MNA branch rows linearly dependent —
+    the statically-decidable :class:`~repro.errors.SingularMatrixError`.
+    Inductors count: their DC branch equation is ``v+ - v- = 0``.
+    """
+    nodes: Sequence[str] = getattr(device, "nodes", ())
+    if isinstance(device, (VoltageSource, Inductor)):
+        yield (nodes[0], nodes[1])
+    elif isinstance(device, (VoltageControlledVoltageSource,
+                             CurrentControlledVoltageSource)):
+        yield (nodes[0], nodes[1])
+
+
+def _island_location(nodes: Tuple[str, ...]) -> str:
+    shown = ", ".join(nodes[:4])
+    if len(nodes) > 4:
+        shown += ", ..."
+    return f"nodes {shown}"
+
+
+@register_rule("floating-node", FAMILY_NETLIST, SEVERITY_WARNING,
+               "a node with a single device terminal attached")
+def check_floating_node(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag nodes with exactly one terminal connection.
+
+    A single-connection node carries no current; its voltage is set by the
+    artificial ``gmin`` conductance, so the netlist almost certainly has a
+    typo in a node name.
+    """
+    for node, degree in sorted(circuit.node_degree().items()):
+        if node == GROUND or degree != 1:
+            continue
+        device = circuit.devices_on_node(node)[0]
+        yield Diagnostic(
+            code="floating-node", severity=SEVERITY_WARNING,
+            location=f"node {node}",
+            message=(f"node {node!r} connects only one terminal "
+                     f"(device {device.name!r})"),
+            fixit="check the node name for a typo or tie the node off")
+
+
+@register_rule("no-dc-path", FAMILY_NETLIST, SEVERITY_WARNING,
+               "a group of nodes with no DC path to ground")
+def check_no_dc_path(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag node islands that have no DC-conducting path to ground.
+
+    The operating point of such an island is fixed only by ``gmin``; the
+    simulation runs but the island's voltages are meaningless.
+    """
+    uf = UnionFind()
+    uf.find(GROUND)
+    for node in circuit.nodes(include_ground=True):
+        uf.find(node)
+    for device in circuit.devices:
+        for a, b in _dc_edges(device):
+            uf.union(a, b)
+    for component in uf.components():
+        if GROUND in component:
+            continue
+        yield Diagnostic(
+            code="no-dc-path", severity=SEVERITY_WARNING,
+            location=_island_location(component),
+            message=(f"{len(component)} node(s) have no DC path to "
+                     "ground; their operating point is set by gmin only"),
+            fixit="add a DC return path (resistor) to ground")
+
+
+@register_rule("vsource-loop", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a loop of voltage-defined branches (singular MNA matrix)")
+def check_vsource_loop(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag cycles of voltage-defined branches.
+
+    Two voltage-defined branches across the same node pair (or any longer
+    cycle, or a source shorted onto a single node) produce linearly
+    dependent MNA rows: the analysis is guaranteed to raise
+    :class:`~repro.errors.SingularMatrixError`.
+    """
+    uf = UnionFind()
+    for device in circuit.devices:
+        for a, b in _voltage_defined_edges(device):
+            if a == b:
+                yield Diagnostic(
+                    code="vsource-loop", severity=SEVERITY_ERROR,
+                    location=f"device {device.name}",
+                    message=(f"both terminals of {device.name!r} connect "
+                             f"to node {a!r}; its branch equation is "
+                             "identically zero (singular MNA matrix)"),
+                    fixit="connect the terminals to distinct nodes")
+                continue
+            if not uf.union(a, b):
+                yield Diagnostic(
+                    code="vsource-loop", severity=SEVERITY_ERROR,
+                    location=f"device {device.name}",
+                    message=(f"{device.name!r} closes a loop of "
+                             "voltage-defined branches (voltage sources, "
+                             "E/H outputs, inductors); the MNA matrix is "
+                             "singular"),
+                    fixit="break the loop, e.g. with a small series "
+                          "resistance")
+
+
+@register_rule("isource-cutset", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a current source feeding an island with no return path")
+def check_isource_cutset(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag current-defined branches whose current has no return path.
+
+    When a current source output crosses into a node island that has no
+    conducting connection to the rest of the circuit, KCL can only be
+    satisfied through ``gmin``: the island floats to ``V ~ I / gmin``
+    (gigavolts), drowning every result computed from it.
+    """
+    uf = UnionFind()
+    uf.find(GROUND)
+    for node in circuit.nodes(include_ground=True):
+        uf.find(node)
+    for device in circuit.devices:
+        for a, b in _conducting_edges(device):
+            uf.union(a, b)
+    current_outputs: List[Tuple[str, str, str]] = []
+    for device in circuit.devices:
+        if isinstance(device, (CurrentSource,
+                               CurrentControlledCurrentSource,
+                               VoltageControlledCurrentSource)):
+            current_outputs.append(
+                (device.name, device.nodes[0], device.nodes[1]))
+    for name, pos, neg in current_outputs:
+        for terminal in (pos, neg):
+            if uf.connected(terminal, GROUND):
+                continue
+            # The island around `terminal` has no conducting tie to
+            # ground; the source pumps a fixed current into it.
+            yield Diagnostic(
+                code="isource-cutset", severity=SEVERITY_ERROR,
+                location=f"device {name}",
+                message=(f"current source {name!r} drives node "
+                         f"{terminal!r}, which has no conducting path "
+                         "to ground; the node floats to I/gmin"),
+                fixit="provide a return path (resistor) for the "
+                      "source current")
+            break  # one diagnostic per source is enough
+
+
+@register_rule("undefined-model", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a device references a .model card that does not exist")
+def check_undefined_model(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag model references that name no ``.model`` card.
+
+    ``Device.prepare`` raises :class:`~repro.errors.ModelError` for these
+    at analysis time; the reference is statically decidable.
+    """
+    for device in circuit.devices:
+        model_name = getattr(device, "model_name", "")
+        if not model_name:
+            continue  # diode/switch models are optional
+        if str(model_name).lower() in circuit.models:
+            continue
+        yield Diagnostic(
+            code="undefined-model", severity=SEVERITY_ERROR,
+            location=f"device {device.name}",
+            message=(f"{device.name!r} references undefined model "
+                     f"{str(model_name)!r}"),
+            fixit="add the .model card or fix the reference")
+
+
+@register_rule("model-kind", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a device references a .model card of the wrong family")
+def check_model_kind(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag MOSFETs bound to a model that is neither nmos nor pmos.
+
+    ``Mosfet.prepare`` raises :class:`~repro.errors.ModelError` for these.
+    """
+    for device in circuit.devices_of_type(Mosfet):
+        model = circuit.models.get(device.model_name.lower())
+        if model is None:
+            continue  # covered by undefined-model
+        if model.kind in ("nmos", "pmos"):
+            continue
+        yield Diagnostic(
+            code="model-kind", severity=SEVERITY_ERROR,
+            location=f"device {device.name}",
+            message=(f"MOSFET {device.name!r} uses model "
+                     f"{model.name!r} of kind {model.kind!r} "
+                     "(expected nmos or pmos)"),
+            fixit="bind the device to an nmos/pmos model")
+
+
+@register_rule("undefined-control", FAMILY_NETLIST, SEVERITY_ERROR,
+               "an F/H element controlled by a missing or branchless source")
+def check_undefined_control(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag current-controlled sources with an unusable controlling element.
+
+    ``prepare`` raises :class:`~repro.errors.NetlistError` when the named
+    element is missing or introduces no branch current.
+    """
+    controlled = (circuit.devices_of_type(CurrentControlledCurrentSource)
+                  + circuit.devices_of_type(CurrentControlledVoltageSource))
+    for device in controlled:
+        control_name = device.control_source
+        if control_name.lower() not in (d.name.lower()
+                                        for d in circuit.devices):
+            yield Diagnostic(
+                code="undefined-control", severity=SEVERITY_ERROR,
+                location=f"device {device.name}",
+                message=(f"{device.name!r} is controlled by "
+                         f"{control_name!r}, which does not exist"),
+                fixit="name an existing voltage source")
+            continue
+        control = circuit.device(control_name)
+        if control.branch_count() < 1:
+            yield Diagnostic(
+                code="undefined-control", severity=SEVERITY_ERROR,
+                location=f"device {device.name}",
+                message=(f"{device.name!r} is controlled by "
+                         f"{control_name!r}, which carries no branch "
+                         "current"),
+                fixit="control through a voltage source (V/E/H) branch")
+
+
+@register_rule("negative-parameter", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a passive device with a negative element value")
+def check_negative_parameter(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag negative R/C/L values.
+
+    Construction refuses them, but the fault injector mutates element
+    values in place (``device.resistance *= factor``), so a bad fault
+    factor can make an injected circuit non-passive.
+    """
+    attributes = ((Resistor, "resistance"), (Capacitor, "capacitance"),
+                  (Inductor, "inductance"))
+    for cls, attribute in attributes:
+        for device in circuit.devices_of_type(cls):
+            value = float(getattr(device, attribute))
+            if value >= 0.0:
+                continue
+            yield Diagnostic(
+                code="negative-parameter", severity=SEVERITY_ERROR,
+                location=f"device {device.name}",
+                message=(f"{device.name!r} has negative {attribute} "
+                         f"{value:g}"),
+                fixit="use a non-negative element value")
+
+
+@register_rule("zero-geometry", FAMILY_NETLIST, SEVERITY_ERROR,
+               "a MOSFET with non-positive channel width or length")
+def check_zero_geometry(circuit: Circuit) -> Iterable[Diagnostic]:
+    """Flag MOSFETs with ``w <= 0`` or ``l <= 0``.
+
+    The level-1 equations divide by ``l`` and scale by ``w``; zero or
+    negative geometry produces NaN/negated currents rather than a clean
+    runtime error, which makes the static check the only safety net.
+    """
+    for device in circuit.devices_of_type(Mosfet):
+        for attribute in ("w", "l"):
+            value = float(getattr(device, attribute))
+            if value > 0.0:
+                continue
+            yield Diagnostic(
+                code="zero-geometry", severity=SEVERITY_ERROR,
+                location=f"device {device.name}",
+                message=(f"MOSFET {device.name!r} has non-positive "
+                         f"{attribute} = {value:g}"),
+                fixit="give the transistor a positive channel geometry")

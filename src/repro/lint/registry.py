@@ -1,0 +1,135 @@
+"""Rule registry and per-rule configuration of the static analyzer.
+
+Rules register themselves with :func:`register_rule` at import time; the
+engine (:mod:`repro.lint.engine`) asks the registry for the enabled rules
+of a family and runs their checks.  A :class:`LintConfig` disables rules or
+overrides their severities by code — the mechanism behind per-project lint
+policies and the campaign preflight defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, Mapping,
+                    Optional, Tuple)
+
+from ..errors import LintError
+from .diagnostics import SEVERITIES, Diagnostic
+
+#: Rule family whose checks receive a :class:`~repro.spice.Circuit`.
+FAMILY_NETLIST = "netlist"
+#: Rule family whose checks receive the raw netlist text (defects such as
+#: duplicate device names cannot exist in a parsed ``Circuit``).
+FAMILY_NETLIST_TEXT = "netlist-text"
+#: Rule family whose checks receive a
+#: :class:`~repro.lint.engine.FaultListContext`.
+FAMILY_FAULTLIST = "faultlist"
+
+#: Check signature; the argument depends on the rule family (see the
+#: family constants above), hence ``Any``.
+RuleCheck = Callable[[Any], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered rule of the static analyzer."""
+
+    #: Stable code carried by every diagnostic the rule emits.
+    code: str
+    #: Which input the check consumes (``FAMILY_*``).
+    family: str
+    #: Default severity; overridable per run via :class:`LintConfig`.
+    severity: str
+    #: One-line description (the rule-catalogue entry in ``docs/lint.md``).
+    summary: str
+    #: The check callable; ``None`` for engine-integrated rules whose
+    #: detection cannot run as a standalone pass (e.g. ``parse-error``).
+    check: Optional[RuleCheck] = None
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register_rule(code: str, family: str, severity: str, summary: str
+                  ) -> Callable[[RuleCheck], RuleCheck]:
+    """Class-body decorator registering ``check`` under ``code``."""
+    if severity not in SEVERITIES:
+        raise LintError(f"rule {code!r}: unknown severity {severity!r}")
+    if code in _REGISTRY:
+        raise LintError(f"duplicate lint rule code {code!r}")
+
+    def register(check: RuleCheck) -> RuleCheck:
+        _REGISTRY[code] = LintRule(code=code, family=family,
+                                   severity=severity, summary=summary,
+                                   check=check)
+        return check
+
+    return register
+
+
+def register_builtin_rule(code: str, family: str, severity: str,
+                          summary: str) -> None:
+    """Register an engine-integrated rule (no standalone check)."""
+    if code in _REGISTRY:
+        raise LintError(f"duplicate lint rule code {code!r}")
+    _REGISTRY[code] = LintRule(code=code, family=family, severity=severity,
+                               summary=summary, check=None)
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, sorted by code (the rule catalogue)."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda r: r.code))
+
+
+def rules_for(family: str) -> Tuple[LintRule, ...]:
+    """The runnable rules of one family, sorted by code."""
+    return tuple(r for r in all_rules()
+                 if r.family == family and r.check is not None)
+
+
+def get_rule(code: str) -> LintRule:
+    """Look a rule up by code; raises :class:`~repro.errors.LintError`
+    for unknown codes."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        # KeyError would leak registry internals; LintError is the
+        # configuration-mistake channel of the analyzer.
+        raise LintError(
+            f"unknown lint rule code {code!r}; known codes: {known}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule policy: disabled rules and severity overrides.
+
+    ``disabled`` names rule codes to skip; ``severities`` maps rule codes
+    to overriding severities.  Unknown codes or severities raise
+    :class:`~repro.errors.LintError` when the config is validated (every
+    engine entry point validates before running).
+    """
+
+    disabled: FrozenSet[str] = frozenset()
+    severities: Mapping[str, str] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check every referenced code and severity against the registry."""
+        for code in sorted(self.disabled):
+            get_rule(code)
+        for code, severity in sorted(self.severities.items()):
+            get_rule(code)
+            if severity not in SEVERITIES:
+                raise LintError(
+                    f"severity override for rule {code!r}: unknown "
+                    f"severity {severity!r} (expected one of "
+                    f"{', '.join(SEVERITIES)})")
+
+    def enabled(self, rule: LintRule) -> bool:
+        """Whether ``rule`` should run under this config."""
+        return rule.code not in self.disabled
+
+    def severity_for(self, rule: LintRule) -> str:
+        """The effective severity of ``rule`` under this config."""
+        return dict(self.severities).get(rule.code, rule.severity)

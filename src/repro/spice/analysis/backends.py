@@ -7,7 +7,7 @@ a pluggable choice:
 
 :class:`DenseSolverBackend`
     The historical behaviour: a dense ``numpy`` matrix
-    (:class:`~repro.spice.analysis.mna.MNASystem`) solved with LAPACK
+    (:class:`MNASystem`, defined here) solved with LAPACK
     ``getrf``/``getrs`` (``scipy.linalg.lu_factor`` when available).  The
     O(n^3) factorisation is unbeatable below a few hundred unknowns, where
     the constant factors of sparse bookkeeping dominate.
@@ -32,10 +32,14 @@ layer (``CampaignSettings.solver_backend``).  The choice actually taken is
 recorded in ``TransientResult.stats["solver_backend"]``.
 
 Both backends expose the same system interface consumed by the device
-stamps (see :class:`~repro.spice.analysis.mna.MNASystem` for the reference
-implementation): ``add``/``add_rhs`` for scalar stamps, ``scatter``/
-``scatter_rhs`` for the vectorized banks, ``add_diagonal`` for gmin,
-``clear``, ``copy_from``, ``solve`` and ``freeze_solver``.
+stamps (:class:`MNASystem` is the reference implementation):
+``add``/``add_rhs`` for scalar stamps, ``scatter``/``scatter_rhs`` for the
+vectorized banks, ``add_diagonal`` for gmin, ``clear``, ``copy_from``,
+``solve`` and ``freeze_solver``.  The scatter methods are the **scatter
+seam**: direct ``np.add.at`` accumulation onto system matrices is allowed
+only inside this module (the custom checker ``tools/repro_lint.py``
+enforces that repo invariant), so alternative representations can rely on
+every stamp flowing through the interface above.
 """
 
 from __future__ import annotations
@@ -43,7 +47,11 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import AnalysisError, SingularMatrixError
-from .mna import MNASystem, make_lu_solver
+
+try:  # pragma: no cover - exercised through make_lu_solver
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+except ImportError:  # pragma: no cover
+    _lu_factor = _lu_solve = None
 
 try:  # pragma: no cover - exercised through the sparse backend tests
     from scipy.sparse import csc_matrix as _csc_matrix
@@ -64,6 +72,111 @@ BACKEND_CHOICES = ("auto", "dense", "sparse")
 def sparse_available() -> bool:
     """True when ``scipy.sparse`` (and SuperLU) can be imported."""
     return _splu is not None
+
+
+def make_lu_solver(matrix: np.ndarray):
+    """Factorise ``matrix`` once and return ``solve(rhs) -> x``.
+
+    Uses a cached LU decomposition when SciPy is available and falls back to
+    a plain dense solve otherwise.  The returned callable raises
+    :class:`SingularMatrixError` on singular or non-finite systems.
+    """
+    if _lu_factor is not None:
+        try:
+            lu = _lu_factor(matrix)
+        except (ValueError, np.linalg.LinAlgError) as exc:
+            raise SingularMatrixError(f"MNA matrix cannot be factorised: {exc}") from exc
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            solution = _lu_solve(lu, rhs)
+            if not np.all(np.isfinite(solution)):
+                raise SingularMatrixError("MNA solution contains NaN/Inf")
+            return solution
+
+        return solve
+
+    frozen = np.array(matrix, copy=True)
+
+    def solve(rhs: np.ndarray) -> np.ndarray:
+        try:
+            solution = np.linalg.solve(frozen, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SingularMatrixError("MNA solution contains NaN/Inf")
+        return solution
+
+    return solve
+
+
+class MNASystem:
+    """Dense MNA matrix and right-hand side with ground-aware stamping.
+
+    This is the reference implementation of the system interface shared by
+    all solver backends: scalar stamps go through :meth:`add`/:meth:`add_rhs`,
+    the vectorized device banks go through :meth:`scatter`/:meth:`scatter_rhs`
+    — the only place device contributions may hit the matrix memory directly
+    (``np.add.at`` lives here and nowhere else; ``tools/repro_lint.py``
+    enforces it) — and the solver side is :meth:`solve` (one-shot) or
+    :meth:`freeze_solver` (cached factorisation for the linear-bypass path).
+    """
+
+    def __init__(self, size: int, dtype=float):
+        self.size = size
+        self.matrix = np.zeros((size, size), dtype=dtype)
+        self.rhs = np.zeros(size, dtype=dtype)
+
+    def clear(self) -> None:
+        self.matrix[:, :] = 0.0
+        self.rhs[:] = 0.0
+
+    def add(self, row: int, col: int, value) -> None:
+        """Add ``value`` at (row, col); indices of -1 refer to ground and are
+        silently dropped."""
+        if row < 0 or col < 0:
+            return
+        self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value) -> None:
+        if row < 0:
+            return
+        self.rhs[row] += value
+
+    def scatter(self, rows: np.ndarray, cols: np.ndarray,
+                values: np.ndarray) -> None:
+        """Accumulate ``values`` at ``(rows[k], cols[k])`` (duplicates sum).
+
+        Ground entries must already be dropped; the banks precompute their
+        index maps that way.
+        """
+        np.add.at(self.matrix, (rows, cols), values)
+
+    def scatter_rhs(self, rows: np.ndarray, values: np.ndarray) -> None:
+        np.add.at(self.rhs, rows, values)
+
+    def add_diagonal(self, indices: np.ndarray, value: float) -> None:
+        """Add ``value`` on the diagonal slots ``indices`` (gmin stamp)."""
+        self.matrix[indices, indices] += value
+
+    def copy_from(self, other: "MNASystem") -> None:
+        """Become a copy of ``other`` (matrix and right-hand side)."""
+        np.copyto(self.matrix, other.matrix)
+        np.copyto(self.rhs, other.rhs)
+
+    def solve(self) -> np.ndarray:
+        """Solve the linear system, raising :class:`SingularMatrixError` on a
+        singular or numerically unusable matrix."""
+        try:
+            solution = np.linalg.solve(self.matrix, self.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise SingularMatrixError("MNA solution contains NaN/Inf")
+        return solution
+
+    def freeze_solver(self):
+        """Factorise the present matrix once and return ``solve(rhs) -> x``."""
+        return make_lu_solver(self.matrix)
 
 
 class _CSCPattern:
@@ -296,6 +409,7 @@ __all__ = [
     "BACKEND_CHOICES",
     "SPARSE_AUTO_THRESHOLD",
     "DenseSolverBackend",
+    "MNASystem",
     "SolverBackend",
     "SparseMNASystem",
     "SparseSolverBackend",

@@ -1,4 +1,11 @@
-"""Modified nodal analysis plumbing: equation system, state and builder."""
+"""Modified nodal analysis plumbing: options, state and builder.
+
+The dense reference system (:class:`MNASystem`) and the cached LU helper
+(:func:`make_lu_solver`) live in :mod:`repro.spice.analysis.backends` with
+the other system representations — device stamps must reach matrix memory
+only through the backend scatter seam — and are re-exported here for
+backward compatibility.
+"""
 
 from __future__ import annotations
 
@@ -6,50 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...errors import SingularMatrixError
 from ...units import DEFAULT_TEMPERATURE_C
 from ..devices.base import CompanionCapacitorBank, Device as _Device
 from ..netlist import Circuit
+from .backends import (MNASystem, SolverBackend, make_lu_solver,
+                       select_backend)
 
-try:  # pragma: no cover - exercised through make_lu_solver
-    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
-except ImportError:  # pragma: no cover
-    _lu_factor = _lu_solve = None
-
-
-def make_lu_solver(matrix: np.ndarray):
-    """Factorise ``matrix`` once and return ``solve(rhs) -> x``.
-
-    Uses a cached LU decomposition when SciPy is available and falls back to
-    a plain dense solve otherwise.  The returned callable raises
-    :class:`SingularMatrixError` on singular or non-finite systems.
-    """
-    if _lu_factor is not None:
-        try:
-            lu = _lu_factor(matrix)
-        except (ValueError, np.linalg.LinAlgError) as exc:
-            raise SingularMatrixError(f"MNA matrix cannot be factorised: {exc}") from exc
-
-        def solve(rhs: np.ndarray) -> np.ndarray:
-            solution = _lu_solve(lu, rhs)
-            if not np.all(np.isfinite(solution)):
-                raise SingularMatrixError("MNA solution contains NaN/Inf")
-            return solution
-
-        return solve
-
-    frozen = np.array(matrix, copy=True)
-
-    def solve(rhs: np.ndarray) -> np.ndarray:
-        try:
-            solution = np.linalg.solve(frozen, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
-        if not np.all(np.isfinite(solution)):
-            raise SingularMatrixError("MNA solution contains NaN/Inf")
-        return solution
-
-    return solve
+__all__ = ["MNABuilder", "MNASystem", "SimState", "SimulationOptions",
+           "make_lu_solver"]
 
 
 @dataclass
@@ -117,75 +88,6 @@ class SimState:
         return float(self.x[index].real)
 
 
-class MNASystem:
-    """Dense MNA matrix and right-hand side with ground-aware stamping.
-
-    This is the reference implementation of the system interface shared by
-    all solver backends (see :mod:`repro.spice.analysis.backends`): scalar
-    stamps go through :meth:`add`/:meth:`add_rhs`, the vectorized device
-    banks go through :meth:`scatter`/:meth:`scatter_rhs`, and the solver
-    side is :meth:`solve` (one-shot) or :meth:`freeze_solver` (cached
-    factorisation for the linear-bypass path).
-    """
-
-    def __init__(self, size: int, dtype=float):
-        self.size = size
-        self.matrix = np.zeros((size, size), dtype=dtype)
-        self.rhs = np.zeros(size, dtype=dtype)
-
-    def clear(self) -> None:
-        self.matrix[:, :] = 0.0
-        self.rhs[:] = 0.0
-
-    def add(self, row: int, col: int, value) -> None:
-        """Add ``value`` at (row, col); indices of -1 refer to ground and are
-        silently dropped."""
-        if row < 0 or col < 0:
-            return
-        self.matrix[row, col] += value
-
-    def add_rhs(self, row: int, value) -> None:
-        if row < 0:
-            return
-        self.rhs[row] += value
-
-    def scatter(self, rows: np.ndarray, cols: np.ndarray,
-                values: np.ndarray) -> None:
-        """Accumulate ``values`` at ``(rows[k], cols[k])`` (duplicates sum).
-
-        Ground entries must already be dropped; the banks precompute their
-        index maps that way.
-        """
-        np.add.at(self.matrix, (rows, cols), values)
-
-    def scatter_rhs(self, rows: np.ndarray, values: np.ndarray) -> None:
-        np.add.at(self.rhs, rows, values)
-
-    def add_diagonal(self, indices: np.ndarray, value: float) -> None:
-        """Add ``value`` on the diagonal slots ``indices`` (gmin stamp)."""
-        self.matrix[indices, indices] += value
-
-    def copy_from(self, other: "MNASystem") -> None:
-        """Become a copy of ``other`` (matrix and right-hand side)."""
-        np.copyto(self.matrix, other.matrix)
-        np.copyto(self.rhs, other.rhs)
-
-    def solve(self) -> np.ndarray:
-        """Solve the linear system, raising :class:`SingularMatrixError` on a
-        singular or numerically unusable matrix."""
-        try:
-            solution = np.linalg.solve(self.matrix, self.rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(f"MNA matrix is singular: {exc}") from exc
-        if not np.all(np.isfinite(solution)):
-            raise SingularMatrixError("MNA solution contains NaN/Inf")
-        return solution
-
-    def freeze_solver(self):
-        """Factorise the present matrix once and return ``solve(rhs) -> x``."""
-        return make_lu_solver(self.matrix)
-
-
 class MNABuilder:
     """Binds a circuit to matrix indices and assembles MNA systems.
 
@@ -250,8 +152,6 @@ class MNABuilder:
             if type(d).accept_timestep is not _Device.accept_timestep
             and not d.companion_only_accept]
         self._diagonal = np.arange(self.num_nodes)
-        from .backends import SolverBackend, select_backend
-
         if isinstance(solver_backend, SolverBackend):
             self.backend = solver_backend
         else:

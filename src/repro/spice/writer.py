@@ -8,6 +8,7 @@ suite to guarantee the two stay consistent.
 
 from __future__ import annotations
 
+from ..errors import NetlistError
 from .netlist import Circuit, Model
 from .devices import (
     Capacitor,
@@ -86,7 +87,8 @@ def device_card(device) -> str:
     if isinstance(device, VoltageControlledSwitch):
         return (f"{device.name} {nodes[0]} {nodes[1]} {nodes[2]} {nodes[3]} "
                 f"{device.model_name}")
-    raise TypeError(f"cannot serialise device of type {type(device).__name__}")
+    raise NetlistError(
+        f"cannot serialise device of type {type(device).__name__}")
 
 
 def write_netlist(circuit: Circuit, analyses: list[str] | None = None) -> str:

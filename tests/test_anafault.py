@@ -212,7 +212,7 @@ class TestComparator:
         assert result.signal == "b"
 
     def test_negative_tolerances_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CampaignError):
             ToleranceSettings(amplitude=-1.0)
 
     def test_vectorised_run_lengths_match_reference_loop(self):
@@ -275,7 +275,7 @@ class TestComparator:
         comparator = WaveformComparator()
         assert comparator.compare_batch(nominal, []) == []
         other = Waveform(t[:-1], nominal.y[:-1])
-        with pytest.raises(ValueError, match="one time grid"):
+        with pytest.raises(CampaignError, match="one time grid"):
             comparator.compare_batch(nominal, [nominal, other])
 
     def test_compare_batch_zero_sample_waveforms_match_compare(self):

@@ -388,8 +388,12 @@ class TestSatelliteFixes:
 class TestCommandLine:
     """End-to-end CLI round-trip through real subprocesses."""
 
+    # Fault #4 targets a missing net on purpose (it covers the
+    # injection-failure record status), so the campaign must opt out of
+    # the CLI's default refusing preflight; "warn" is the neutral
+    # fingerprint default and keeps merge/verify identity unchanged.
     SETTINGS_FLAGS = ["--observe", "out", "--amplitude-tolerance", "0.3",
-                      "--time-tolerance", "2e-4"]
+                      "--time-tolerance", "2e-4", "--preflight", "warn"]
 
     @pytest.fixture()
     def campaign_files(self, rc_circuit, tmp_path):

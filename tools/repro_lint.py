@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Repo-specific static checks for ``src/repro`` (stdlib-only, CI-enforced).
+
+Two rules, both born from real review findings:
+
+``raise-type``
+    Every ``raise`` in ``src/repro`` must raise a
+    :class:`repro.errors.ReproError` subclass (or ``NotImplementedError``
+    for abstract methods).  Library callers catch ``ReproError``; a stray
+    ``ValueError``/``RuntimeError`` escapes every ``except ReproError``
+    handler in the CLI and the campaign executors.  The subclass set is
+    read from the AST of ``src/repro/errors.py``, so new error classes are
+    picked up without touching this tool.  Re-raising a caught object
+    (``raise exc``) and bare ``raise`` are allowed — the type cannot be
+    decided statically.  ``argparse.ArgumentTypeError`` and friends have a
+    suppression escape hatch: put ``# repro-lint: allow=raise-type`` on
+    any line of the raise statement.
+
+``scatter-seam``
+    No direct ``np.add.at`` scatter on system matrices outside
+    ``backends.py``.  The dense/sparse assembly seam lives there; a
+    scatter-add anywhere else bypasses the backend dispatch and silently
+    densifies sparse runs.  Suppress with
+    ``# repro-lint: allow=scatter-seam``.
+
+Usage::
+
+    python tools/repro_lint.py            # checks src/repro
+    python tools/repro_lint.py path ...   # checks specific files/trees
+
+Exit code 0 when clean, 1 when any finding is reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+ERRORS_MODULE = REPO_ROOT / "src" / "repro" / "errors.py"
+
+#: Files allowed to contain the raw ``np.add.at`` scatter: the assembly
+#: seam itself.
+SCATTER_SEAM_FILES = ("backends.py",)
+
+#: Raise types always allowed in addition to the ReproError hierarchy.
+ALWAYS_ALLOWED_RAISES = ("NotImplementedError", "StopIteration")
+
+_SUPPRESS = re.compile(r"#\s*repro-lint:\s*allow=([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+
+def repro_error_names(errors_path: pathlib.Path = ERRORS_MODULE) -> set:
+    """Class names of the ``ReproError`` hierarchy, read from the AST of
+    ``errors.py`` (no import of the package under check)."""
+    tree = ast.parse(errors_path.read_text(encoding="utf-8"),
+                     filename=str(errors_path))
+    bases = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = [b.id for b in node.bases
+                                if isinstance(b, ast.Name)]
+    names = {"ReproError"}
+    grew = True
+    while grew:  # transitive closure over single-file inheritance
+        grew = False
+        for name, parents in bases.items():
+            if name not in names and any(p in names for p in parents):
+                names.add(name)
+                grew = True
+    return names
+
+
+def _suppressed(lines, node, rule: str) -> bool:
+    """True when any physical line of ``node`` carries a
+    ``# repro-lint: allow=<rule>`` marker."""
+    end = getattr(node, "end_lineno", node.lineno)
+    for lineno in range(node.lineno, end + 1):
+        if lineno - 1 >= len(lines):
+            break
+        match = _SUPPRESS.search(lines[lineno - 1])
+        if match and rule in re.split(r"\s*,\s*", match.group(1)):
+            return True
+    return False
+
+
+def _raised_name(node: ast.Raise):
+    """The statically visible class name of a raise, or ``None`` when the
+    type cannot be decided (bare ``raise``, ``raise exc`` re-raise)."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr  # errors.FaultError(...) and similar
+    if isinstance(exc, ast.Name):
+        # `raise exc` re-raises an object whose type we cannot see; only
+        # flag names that are plainly exception classes.
+        name = exc.id
+        if name[:1].isupper() and (name.endswith("Error")
+                                   or name.endswith("Exception")
+                                   or name.endswith("Interrupt")):
+            return name
+        return None
+    return None
+
+
+def check_file(path: pathlib.Path, allowed: set) -> list:
+    """Findings for one file as ``(path, lineno, rule, message)`` tuples."""
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 1, "parse",
+                 f"file does not parse: {exc.msg}")]
+    findings = []
+    seam_file = path.name in SCATTER_SEAM_FILES
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            name = _raised_name(node)
+            if (name is not None and name not in allowed
+                    and not _suppressed(lines, node, "raise-type")):
+                findings.append((
+                    path, node.lineno, "raise-type",
+                    f"raises {name}, which is not a ReproError subclass; "
+                    "library callers catch ReproError — use one of the "
+                    "repro.errors classes, or mark a deliberate exception "
+                    "with '# repro-lint: allow=raise-type'"))
+        elif (isinstance(node, ast.Attribute) and node.attr == "at"
+              and isinstance(node.value, ast.Attribute)
+              and node.value.attr == "add"
+              and isinstance(node.value.value, ast.Name)
+              and node.value.value.id in ("np", "numpy")
+              and not seam_file):
+            if not _suppressed(lines, node, "scatter-seam"):
+                findings.append((
+                    path, node.lineno, "scatter-seam",
+                    "direct np.add.at scatter outside backends.py bypasses "
+                    "the dense/sparse assembly seam; go through the solver "
+                    "backend, or mark a deliberate use with "
+                    "'# repro-lint: allow=scatter-seam'"))
+    return findings
+
+
+def iter_python_files(targets):
+    for target in targets:
+        target = pathlib.Path(target)
+        if target.is_dir():
+            yield from sorted(target.rglob("*.py"))
+        elif target.suffix == ".py":
+            yield target
+        else:
+            raise SystemExit(f"usage error: {target} is not a python file "
+                             "or directory")
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    targets = [pathlib.Path(arg) for arg in argv] or [DEFAULT_TARGET]
+    for target in targets:
+        if not target.exists():
+            print(f"error: {target} does not exist", file=sys.stderr)
+            return 2
+    allowed = repro_error_names() | set(ALWAYS_ALLOWED_RAISES)
+    findings = []
+    checked = 0
+    for path in iter_python_files(targets):
+        checked += 1
+        findings.extend(check_file(path, allowed))
+    for path, lineno, rule, message in findings:
+        try:
+            shown = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{lineno}: [{rule}] {message}")
+    print(f"repro-lint: {checked} file(s) checked, "
+          f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
