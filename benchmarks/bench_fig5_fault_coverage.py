@@ -132,6 +132,36 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
     assert merged.fault_coverage() == result.fault_coverage()
 
     # ------------------------------------------------------------------
+    # Concurrent multi-fault simulation (docs/batching.md): the batched
+    # executor advances 8 fault variants in lockstep and aborts each one
+    # the moment its detection verdict is certain.  Verdicts and
+    # detection times must be identical to the plain serial per-fault
+    # loop; the wall-clock win comes from early abort (Fig. 5: most
+    # detections land in the first quarter of the test time, so most
+    # variants stop long before tstop).
+    from repro.anafault import BatchedExecutor, SerialExecutor
+
+    serial_start = time.perf_counter()
+    serial_run = FaultSimulator(circuit, faults, streaming_settings).run(
+        executor=SerialExecutor())
+    serial_seconds = time.perf_counter() - serial_start
+    batched_start = time.perf_counter()
+    batched_run = FaultSimulator(circuit, faults, streaming_settings).run(
+        executor=BatchedExecutor(batch_width=8, early_abort=True))
+    batched_seconds = time.perf_counter() - batched_start
+    assert ([(r.fault.fault_id, r.status, r.detection_time)
+             for r in batched_run.records]
+            == [(r.fault.fault_id, r.status, r.detection_time)
+                for r in serial_run.records])
+    batched_speedup = serial_seconds / batched_seconds
+    if not smoke:
+        # The headline of the batched-executor PR: >= 1.5x over the
+        # serial per-fault loop at record-identical verdicts.
+        assert batched_speedup >= 1.5, (
+            f"batched executor {batched_seconds:.1f}s vs serial "
+            f"{serial_seconds:.1f}s ({batched_speedup:.2f}x < 1.5x)")
+
+    # ------------------------------------------------------------------
     # Batch comparator: one stacked (faults x samples) persistence scan
     # must reproduce the campaign's per-fault verdicts and detection
     # times exactly (the per-sample Python loop is gone from the
@@ -227,6 +257,10 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         f"cross-host shards: 2-way ShardExecutor split merged to "
         f"{len([r for r in merged.records if r is not None])} records, "
         "record-for-record identical to the single-host run",
+        f"batched executor : width 8 + early abort, "
+        f"{batched_run.early_aborted} of {len(faults)} variants aborted "
+        f"early, {batched_speedup:.2f}x over the serial per-fault loop "
+        "(verdicts and detection times identical)",
         f"batch comparator : {len(batch_waves)} stacked waveforms, verdicts "
         "and detection times identical to the per-fault scan",
         f"campaign preflight: {len(faults)} faults analyzed statically in "

@@ -8,7 +8,12 @@ from .models import (
     FaultModelOptions,
 )
 from .injection import FaultInjector, inject_fault
-from .comparator import DetectionResult, ToleranceSettings, WaveformComparator
+from .comparator import (
+    DetectionResult,
+    StreamingDetector,
+    ToleranceSettings,
+    WaveformComparator,
+)
 from .coverage import CoveragePoint, FaultCoverage
 from .simulator import (
     STATUS_DETECTED,
@@ -19,6 +24,7 @@ from .simulator import (
     CampaignSettings,
     FaultSimulationRecord,
     FaultSimulator,
+    record_from_comparison,
     run_campaign,
 )
 from .report import (
@@ -32,6 +38,7 @@ from .parallel import iter_faults_parallel, run_faults_parallel
 from .streaming import InlineNominalStore, NominalStore, publish_nominal
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint
 from .executors import (
+    BatchedExecutor,
     CampaignExecutor,
     CampaignPlan,
     ExecutionInfo,
@@ -52,12 +59,14 @@ __all__ = [
     "ToleranceSettings",
     "WaveformComparator",
     "DetectionResult",
+    "StreamingDetector",
     "FaultCoverage",
     "CoveragePoint",
     "CampaignSettings",
     "CampaignResult",
     "FaultSimulationRecord",
     "FaultSimulator",
+    "record_from_comparison",
     "run_campaign",
     "STATUS_DETECTED",
     "STATUS_UNDETECTED",
@@ -80,6 +89,7 @@ __all__ = [
     "ExecutionInfo",
     "SerialExecutor",
     "PoolExecutor",
+    "BatchedExecutor",
     "ShardExecutor",
     "merge_shards",
 ]

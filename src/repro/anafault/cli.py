@@ -57,7 +57,7 @@ from ..spice.parser import parse_netlist_file
 from ..units import parse_value
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
 from .comparator import ToleranceSettings
-from .executors import ShardExecutor, merge_shards
+from .executors import BatchedExecutor, ShardExecutor, merge_shards
 from .models import RESISTOR_MODEL, SOURCE_MODEL, FaultModelOptions
 from .report import format_overview
 from .simulator import CampaignResult, CampaignSettings, FaultSimulator
@@ -241,7 +241,20 @@ def _print_preflight(result: CampaignResult, out) -> None:
 
 def _cmd_run(args, out) -> int:
     simulator = _load_campaign(args)
-    result = simulator.run(workers=args.workers, checkpoint=args.checkpoint)
+    if args.batch_width is not None:
+        if args.workers != 1:
+            raise ReproError(
+                "--batch-width batches fault variants inside one process; "
+                "it cannot be combined with --workers")
+        executor = BatchedExecutor(batch_width=args.batch_width,
+                                   early_abort=args.early_abort)
+        result = simulator.run(executor=executor, checkpoint=args.checkpoint)
+    elif args.early_abort:
+        raise ReproError("--early-abort needs --batch-width: only the "
+                         "batched executor streams verdicts")
+    else:
+        result = simulator.run(workers=args.workers,
+                               checkpoint=args.checkpoint)
     _print_preflight(result, out)
     print(format_overview(result), file=out)
     return 0
@@ -361,6 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="process-pool workers (default: serial)")
     run.add_argument("--checkpoint", default=None, metavar="PATH",
                      help="JSONL checkpoint to append to / resume from")
+    run.add_argument("--batch-width", type=int, default=None, metavar="K",
+                     help="simulate up to K fault variants in lockstep "
+                     "with the batched executor (fixed-step campaigns "
+                     "only; excludes --workers; see docs/batching.md)")
+    run.add_argument("--early-abort", action="store_true",
+                     help="with --batch-width: stop a variant's transient "
+                     "as soon as its detection verdict is certain "
+                     "(verdicts and detection times are unchanged; "
+                     "max_deviation covers the simulated prefix only)")
 
     shard = commands.add_parser(
         "shard", help="run one shard of a campaign",

@@ -164,3 +164,119 @@ class WaveformComparator:
         if best is not None:
             return best
         return DetectionResult(False, None, worst_deviation)
+
+
+@dataclass
+class _SignalScan:
+    """Per-signal persistence-scan state of a :class:`StreamingDetector`."""
+
+    name: str
+    nominal_y: np.ndarray
+    run: int = 0
+    max_deviation: float = 0.0
+    first_hit: int | None = None
+
+
+class StreamingDetector:
+    """Incremental form of :meth:`WaveformComparator.compare_many`.
+
+    The batched campaign driver produces print rows one at a time; this
+    detector consumes them as they land (:meth:`feed`) and maintains, per
+    observation signal, exactly the state the vectorised cumsum scan of
+    :func:`_run_lengths` computes after the fact: the length of the
+    current run of amplitude violations, the first sample index where a
+    run reached the persistence window, and the running maximum
+    deviation.  Fed every sample of the grid — starting with row 0, the
+    initial state — :meth:`result` returns the :class:`DetectionResult`
+    that ``compare_many`` would return on the completed waveforms,
+    field for field (same earliest-detection/first-signal tie-break, same
+    full-trace ``max_deviation``, same undetected fallback).
+
+    The incremental form is also what makes early abort sound: the
+    moment :attr:`decided` turns true, ``detected``/``detection_time``/
+    ``signal`` are provably fixed — later samples can only grow
+    ``max_deviation``.  A campaign aborting a variant at that point gets
+    the serial verdict and detection time exactly; only the reported
+    ``max_deviation`` (and step counters) stop short of the full trace.
+    """
+
+    def __init__(self, comparator: WaveformComparator,
+                 nominal: dict[str, Waveform], times: np.ndarray):
+        """Interpolate each nominal signal onto ``times`` and reset state.
+
+        ``nominal`` maps the observation signals (in comparison order) to
+        their fault-free waveforms; every later :meth:`feed` must supply a
+        value for each of these signals.
+        """
+        times = np.asarray(times, dtype=float)
+        self._times = times
+        self._amplitude = comparator.tolerances.amplitude
+        self._window = comparator._persistence_window(times)
+        # Zero-sample grids never interpolate (np.interp refuses empty
+        # sample points); the verdict degrades to undetected/0.0 exactly
+        # like compare_batch's zero-sample branch.
+        self._scans = [
+            _SignalScan(signal, (times if times.size == 0
+                                 else wave.values_at(times)))
+            for signal, wave in nominal.items()]
+        self._cursor = 0
+        self._decision: tuple[int, _SignalScan] | None = None
+
+    @property
+    def cursor(self) -> int:
+        """Number of samples fed so far (== the next expected row index)."""
+        return self._cursor
+
+    @property
+    def decided(self) -> bool:
+        """True once the detection verdict is certain.
+
+        A detected verdict is final as soon as a persistence run completes;
+        an *undetected* verdict is only certain at the end of the grid, so
+        this stays false for undetected faults until the last sample.
+        """
+        return self._decision is not None
+
+    def feed(self, values) -> None:
+        """Consume the next print row; ``values`` maps signal name → value.
+
+        Rows must arrive in grid order, starting at index 0 (the initial
+        state).  Feeding past the end of the grid raises
+        :class:`~repro.errors.CampaignError`.
+        """
+        index = self._cursor
+        if index >= self._times.size:
+            raise CampaignError(
+                f"StreamingDetector fed {index + 1} samples but the grid "
+                f"has only {self._times.size}")
+        for scan in self._scans:
+            deviation = abs(values[scan.name] - scan.nominal_y[index])
+            if deviation > scan.max_deviation:
+                scan.max_deviation = deviation
+            if deviation > self._amplitude:
+                scan.run += 1
+                if scan.run >= self._window and scan.first_hit is None:
+                    scan.first_hit = index
+                    if self._decision is None:
+                        self._decision = (index, scan)
+            else:
+                scan.run = 0
+        self._cursor += 1
+
+    def result(self) -> DetectionResult:
+        """The verdict over the samples fed so far.
+
+        Identical to ``compare_many`` on the completed waveforms once the
+        whole grid has been fed; callable earlier for early-aborted
+        variants (the verdict fields are final then, ``max_deviation``
+        covers the fed prefix only).
+        """
+        if self._decision is not None:
+            index, scan = self._decision
+            return DetectionResult(True, float(self._times[index]),
+                                   float(scan.max_deviation), scan.name)
+        worst = 0.0
+        for scan in self._scans:
+            if scan.max_deviation > worst:
+                worst = scan.max_deviation
+        return DetectionResult(False, None, float(worst))

@@ -33,16 +33,20 @@ directory lives in :mod:`repro.anafault.cli`.
 from __future__ import annotations
 
 import pathlib
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from ..errors import CampaignError
 from ..lift.faults import Fault
 from .simulator import (
+    STATUS_DETECTED,
+    STATUS_INJECTION_FAILED,
     STATUS_SIM_FAILED,
     CampaignResult,
     CampaignSettings,
     FaultSimulationRecord,
+    record_from_comparison,
 )
 
 #: Callback an executor invokes for every newly simulated record:
@@ -83,7 +87,8 @@ def record_from_payload(fault: Fault, payload: dict) -> FaultSimulationRecord:
         steps_accepted=int(payload.get("steps_accepted") or 0),
         steps_rejected=int(payload.get("steps_rejected") or 0),
         trace_bytes=int(payload.get("trace_bytes") or 0),
-        payload_bytes=0)
+        payload_bytes=0,
+        reloaded=True)
 
 
 # ---------------------------------------------------------------------------
@@ -160,6 +165,14 @@ class ExecutionInfo:
     nominal_store: str = "local"
     #: Pickled size of the nominal payload one worker received (0 serial).
     nominal_ipc_bytes: int = 0
+    #: Lockstep batch width of a :class:`BatchedExecutor` run (0 per-fault).
+    batch_width: int = 0
+    #: Fault variants stopped early because their verdict was already
+    #: decided (``BatchedExecutor(early_abort=True)`` only).
+    early_aborted: int = 0
+    #: Linear solves served by a shared (nominal/block-diagonal)
+    #: factorisation (``BatchedExecutor(numerics="shared")`` only).
+    solves_shared: int = 0
 
 
 class CampaignExecutor(Protocol):
@@ -252,6 +265,160 @@ class PoolExecutor:
         finally:
             store.dispose()
         return info
+
+
+class BatchedExecutor:
+    """Simulate the pending faults in lockstep batches of ``batch_width``.
+
+    The concurrent-fault-simulation executor (conf_date_SebekeTO95): each
+    batch injects up to ``batch_width`` faults, builds one
+    :class:`~repro.spice.analysis.BatchedTransient` over the variants and
+    advances them print interval by print interval, feeding every fresh
+    print row to a per-variant
+    :class:`~repro.anafault.StreamingDetector` — the incremental form of
+    the campaign comparator's persistence scan.
+
+    In the default configuration every record — verdict, detection time,
+    ``max_deviation``, step counters, ``trace_bytes`` — is identical to a
+    :class:`SerialExecutor` run of the same campaign (lockstep reorders
+    which variant computes next, never what it computes; the differential
+    suite in ``tests/test_batched.py`` locks this down).  Two opt-in
+    levers trade parts of that identity for throughput:
+
+    * ``early_abort=True`` stops a variant the moment its verdict is
+      decided.  Verdict, detection time and detected signal are provably
+      unchanged (the persistence run that fired cannot unfire); the
+      reported ``max_deviation`` and step counters then cover only the
+      simulated prefix.
+    * ``numerics="shared"`` serves the linear sub-steps of eligible
+      variants from shared factorisations (nominal LU + Woodbury low-rank
+      update, or one block-diagonal factorisation per variant group, see
+      ``docs/batching.md``).  Float-exact in theory, not bit-exact;
+      verified at verdict level.
+
+    A variant that fails to converge mid-batch (including
+    ``SingularMatrixError`` and the ``dt_min`` floor) is evicted to the
+    same failure record serial execution produces, without perturbing its
+    siblings.  Requires the campaign's ``timestep`` mode to be ``fixed``
+    (the adaptive driver cannot be paused at print points) and raises
+    :class:`~repro.errors.CampaignError` otherwise.
+
+    Per-record ``elapsed_seconds`` is the variant's injection time plus an
+    equal share of the batch's kernel time (lockstep work is not
+    attributable per-variant); every other telemetry field is exact.
+    """
+
+    name = "batched"
+
+    def __init__(self, batch_width: int = 8, early_abort: bool = False,
+                 numerics: str = "exact", max_shared_rank: int = 4):
+        from ..spice.analysis.batched import NUMERICS_MODES
+
+        if int(batch_width) < 1:
+            raise CampaignError("batch_width must be >= 1")
+        if numerics not in NUMERICS_MODES:
+            raise CampaignError(
+                f"unknown batched numerics mode {numerics!r} "
+                f"(choose from {NUMERICS_MODES})")
+        self.batch_width = int(batch_width)
+        self.early_abort = bool(early_abort)
+        self.numerics = numerics
+        self.max_shared_rank = int(max_shared_rank)
+
+    def execute(self, simulator, plan: CampaignPlan, nominal: dict,
+                emit: EmitCallback) -> ExecutionInfo:
+        """Run ``plan.pending`` in lockstep batches, emitting in plan order."""
+        mode = getattr(simulator.settings.timestep, "mode", "fixed")
+        if mode != "fixed":
+            raise CampaignError(
+                "BatchedExecutor requires timestep mode='fixed' (lockstep "
+                f"advancement pauses at print points), got {mode!r}; run "
+                "adaptive campaigns with SerialExecutor or PoolExecutor")
+        info = ExecutionInfo(executor=self.name,
+                             batch_width=self.batch_width)
+        pending = plan.pending
+        for start in range(0, len(pending), self.batch_width):
+            self._execute_batch(simulator, plan, nominal, emit,
+                                pending[start:start + self.batch_width], info)
+        return info
+
+    def _execute_batch(self, simulator, plan: CampaignPlan, nominal: dict,
+                       emit: EmitCallback, chunk: list[int],
+                       info: ExecutionInfo) -> None:
+        from ..spice.analysis.batched import BatchedTransient
+        from .comparator import StreamingDetector
+
+        records: dict[int, FaultSimulationRecord] = {}
+        variants: list[tuple[int, Fault, float]] = []
+        analyses = []
+        for index in chunk:
+            fault = plan.faults[index]
+            start = _time.perf_counter()
+            try:
+                circuit = simulator.injector.inject(fault)
+            except Exception as exc:
+                records[index] = FaultSimulationRecord(
+                    fault, STATUS_INJECTION_FAILED, message=str(exc),
+                    elapsed_seconds=_time.perf_counter() - start)
+                continue
+            analyses.append(simulator._make_transient(circuit))
+            variants.append((index, fault, _time.perf_counter() - start))
+
+        if variants:
+            kernel_start = _time.perf_counter()
+            batch = BatchedTransient(
+                analyses, numerics=self.numerics,
+                nominal_circuit=(simulator.circuit
+                                 if self.numerics == "shared" else None),
+                max_shared_rank=self.max_shared_rank)
+            batch.begin()
+            detectors: dict[int, StreamingDetector] = {}
+            columns: dict[int, dict] = {}
+            for position in range(len(variants)):
+                run = batch.runs[position]
+                if run is None:  # evicted during the initial solve
+                    continue
+                detectors[position] = StreamingDetector(
+                    simulator._comparator, nominal, run.times)
+                columns[position] = {signal: run.signal_column(signal)
+                                     for signal in nominal}
+
+            def observe(print_index: int, live: list[int]) -> list[int]:
+                stops = []
+                for position in live:
+                    row = batch.runs[position].data[print_index]
+                    detector = detectors[position]
+                    detector.feed({
+                        signal: (0.0 if column is None else row[column])
+                        for signal, column in columns[position].items()})
+                    if self.early_abort and detector.decided:
+                        stops.append(position)
+                return stops
+
+            batch.run(observe)
+            share = (_time.perf_counter() - kernel_start) / len(variants)
+            info.solves_shared += batch.solves_shared
+            info.early_aborted += len(batch.aborted)
+
+            for position, (index, fault, injection_elapsed) in \
+                    enumerate(variants):
+                elapsed = injection_elapsed + share
+                error = batch.errors.get(position)
+                if error is not None:
+                    detected = simulator.settings.count_failed_as_detected
+                    records[index] = FaultSimulationRecord(
+                        fault,
+                        STATUS_DETECTED if detected else STATUS_SIM_FAILED,
+                        detection_time=0.0 if detected else None,
+                        message=str(error), elapsed_seconds=elapsed)
+                    continue
+                run = batch.runs[position]
+                stats = run.finish().stats
+                records[index] = record_from_comparison(
+                    fault, detectors[position].result(), stats, elapsed)
+
+        for index in chunk:
+            emit(index, records[index])
 
 
 class ShardExecutor:

@@ -14,6 +14,7 @@ described in section V of the paper:
 
 from __future__ import annotations
 
+import os
 import time as _time
 from dataclasses import dataclass, field, replace
 
@@ -143,11 +144,46 @@ class FaultSimulationRecord:
     #: Pickled size of this record — its IPC cost — stamped by the worker;
     #: 0 for records produced in-process (serial runs, checkpoint reloads).
     payload_bytes: int = 0
+    #: True for records reloaded from a checkpoint instead of simulated by
+    #: this run.  The verdict fields stay authoritative either way; the
+    #: flag only keeps :meth:`CampaignResult.telemetry` step totals from
+    #: counting the original run's kernel work a second time on resume.
+    reloaded: bool = False
 
     @property
     def detected(self) -> bool:
         """Whether this fault was classified as detected."""
         return self.status == STATUS_DETECTED
+
+
+def record_from_comparison(fault: Fault, comparison: DetectionResult,
+                           stats: dict,
+                           elapsed_seconds: float) -> FaultSimulationRecord:
+    """Build the success-path :class:`FaultSimulationRecord` from a
+    comparator verdict and the transient's kernel statistics.
+
+    The one place campaign records are assembled from verdicts: both the
+    serial :meth:`FaultSimulator.simulate_fault` and the batched executor
+    (:class:`~repro.anafault.BatchedExecutor`) go through it, so their
+    records agree field for field by construction.
+    """
+    iterations = int(stats.get("newton_iterations", 0))
+    trace_bytes = int(stats.get("trace_bytes", 0))
+    steps_accepted = int(stats.get("steps_accepted", 0))
+    steps_rejected = int(stats.get("steps_rejected", 0))
+    if comparison.detected:
+        return FaultSimulationRecord(
+            fault, STATUS_DETECTED, detection_time=comparison.detection_time,
+            detected_on=comparison.signal,
+            max_deviation=comparison.max_deviation,
+            elapsed_seconds=elapsed_seconds,
+            newton_iterations=iterations, trace_bytes=trace_bytes,
+            steps_accepted=steps_accepted, steps_rejected=steps_rejected)
+    return FaultSimulationRecord(
+        fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
+        elapsed_seconds=elapsed_seconds, newton_iterations=iterations,
+        trace_bytes=trace_bytes, steps_accepted=steps_accepted,
+        steps_rejected=steps_rejected)
 
 
 @dataclass
@@ -191,6 +227,15 @@ class CampaignResult:
     #: Diagnostics the campaign preflight reported
     #: (:class:`repro.lint.Diagnostic` tuple; empty when clean or off).
     preflight_diagnostics: tuple = ()
+    #: Lockstep batch width the campaign ran with (0 = per-fault
+    #: execution; see :class:`~repro.anafault.BatchedExecutor`).
+    batch_width: int = 0
+    #: Fault variants the batched executor stopped early because their
+    #: verdict was already decided (0 unless ``early_abort`` was on).
+    early_aborted: int = 0
+    #: Linear solves served by a shared factorisation instead of a
+    #: per-variant one (0 unless batched ``numerics="shared"``).
+    solves_shared: int = 0
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
@@ -241,9 +286,11 @@ class CampaignResult:
     # Telemetry
     # ------------------------------------------------------------------
     def total_newton_iterations(self) -> int:
-        """Linear solves spent across all fault simulations plus nominal."""
+        """Linear solves spent by *this* run across all fault simulations
+        plus nominal (checkpoint-reloaded records are excluded: their
+        kernel work was already counted by the run that produced them)."""
         total = sum(int(r.newton_iterations or 0)
-                    for r in self._live_records())
+                    for r in self._live_records() if not r.reloaded)
         return total + int(self.nominal_stats.get("newton_iterations", 0))
 
     def telemetry(self) -> dict:
@@ -265,10 +312,10 @@ class CampaignResult:
             "timestep_mode": self.nominal_stats.get("timestep_mode",
                                                     "fixed"),
             "steps_accepted_total": sum(
-                int(r.steps_accepted or 0) for r in records)
+                int(r.steps_accepted or 0) for r in records if not r.reloaded)
                 + int(self.nominal_stats.get("steps_accepted", 0)),
             "steps_rejected_total": sum(
-                int(r.steps_rejected or 0) for r in records)
+                int(r.steps_rejected or 0) for r in records if not r.reloaded)
                 + int(self.nominal_stats.get("steps_rejected", 0)),
             "dt_min": float(self.nominal_stats.get("dt_min", 0.0)),
             "dt_max": float(self.nominal_stats.get("dt_max", 0.0)),
@@ -291,6 +338,9 @@ class CampaignResult:
             "record_ipc_bytes_mean": sum(payloads) / count if count else 0.0,
             "trace_bytes_max": max((int(r.trace_bytes or 0) for r in records),
                                    default=0),
+            "batch_width": self.batch_width,
+            "early_aborted": self.early_aborted,
+            "solves_shared": self.solves_shared,
             "checkpoint_skipped": self.checkpoint_skipped,
             "preflight": self.preflight,
             "preflight_errors": sum(
@@ -368,10 +418,13 @@ class FaultSimulator:
         return cls(circuit, None, settings)
 
     # ------------------------------------------------------------------
-    def _run_transient(self, circuit: Circuit) -> tuple[dict[str, Waveform], dict]:
+    def _make_transient(self, circuit: Circuit) -> TransientAnalysis:
+        """The campaign's transient analysis of ``circuit`` — one
+        construction path shared by serial execution and the batched
+        lockstep driver, so both simulate under identical knobs."""
         settings = self.settings
         streaming = bool(getattr(settings, "stream_traces", False))
-        analysis = TransientAnalysis(
+        return TransientAnalysis(
             circuit, tstop=settings.tstop, tstep=settings.tstep,
             options=settings.simulator_options, use_ic=settings.use_ic,
             initial_conditions=settings.initial_conditions,
@@ -383,7 +436,10 @@ class FaultSimulator:
                              if streaming else 0),
             record_currents=not streaming,
             timestep=getattr(settings, "timestep", None))
-        result = analysis.run()
+
+    def _run_transient(self, circuit: Circuit) -> tuple[dict[str, Waveform], dict]:
+        settings = self.settings
+        result = self._make_transient(circuit).run()
         waveforms = {}
         for node in settings.observation_nodes:
             waveforms[node] = result.waveform(node)
@@ -417,24 +473,9 @@ class FaultSimulator:
             return FaultSimulationRecord(
                 fault, status, detection_time=detection, message=str(exc),
                 elapsed_seconds=_time.perf_counter() - start)
-        iterations = int(stats.get("newton_iterations", 0))
-        trace_bytes = int(stats.get("trace_bytes", 0))
-        steps_accepted = int(stats.get("steps_accepted", 0))
-        steps_rejected = int(stats.get("steps_rejected", 0))
         comparison: DetectionResult = self._comparator.compare_many(nominal, faulty)
-        elapsed = _time.perf_counter() - start
-        if comparison.detected:
-            return FaultSimulationRecord(
-                fault, STATUS_DETECTED, detection_time=comparison.detection_time,
-                detected_on=comparison.signal,
-                max_deviation=comparison.max_deviation, elapsed_seconds=elapsed,
-                newton_iterations=iterations, trace_bytes=trace_bytes,
-                steps_accepted=steps_accepted, steps_rejected=steps_rejected)
-        return FaultSimulationRecord(
-            fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
-            elapsed_seconds=elapsed, newton_iterations=iterations,
-            trace_bytes=trace_bytes, steps_accepted=steps_accepted,
-            steps_rejected=steps_rejected)
+        return record_from_comparison(fault, comparison, stats,
+                                      _time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # The campaign pipeline: plan -> execute -> collect
@@ -563,10 +604,24 @@ class FaultSimulator:
         one — so a resumed campaign reports monotone ``done/total``
         progress from its very first event instead of starting mid-count.
         """
-        from .executors import PoolExecutor, SerialExecutor
+        from .executors import BatchedExecutor, PoolExecutor, SerialExecutor
 
         if executor is None:
-            executor = PoolExecutor(workers) if workers > 1 else SerialExecutor()
+            if workers > 1:
+                executor = PoolExecutor(workers)
+            else:
+                executor = SerialExecutor()
+                # CI leg: REPRO_FORCE_BATCHED=<width> substitutes the
+                # batched executor for the serial default, so the whole
+                # tier-1 suite doubles as a batched-vs-serial differential
+                # harness.  Only the defaultable case is forced (explicit
+                # executors and adaptive-mode campaigns keep their path).
+                forced = os.environ.get("REPRO_FORCE_BATCHED", "").strip()
+                if (forced and forced != "0"
+                        and getattr(self.settings.timestep, "mode",
+                                    "fixed") == "fixed"):
+                    width = int(forced) if forced.isdigit() else 4
+                    executor = BatchedExecutor(batch_width=max(1, width))
         elif workers != 1:
             raise CampaignError(
                 "run(workers=..., executor=...) is ambiguous: give the "
@@ -629,6 +684,17 @@ class FaultSimulator:
 
             def emit(index: int, record: FaultSimulationRecord) -> None:
                 nonlocal done
+                if records[index] is not None:
+                    # A checkpoint-skipped slot or a double emission: letting
+                    # it through would double-count the fault in the
+                    # telemetry step totals and append a duplicate
+                    # checkpoint line (which a batched resume would then
+                    # reload twice).  Executors must emit each pending index
+                    # exactly once.
+                    raise CampaignError(
+                        f"executor emitted fault index {index} "
+                        f"({record.fault.fault_id}) twice, or re-emitted a "
+                        "checkpoint-skipped fault")
                 records[index] = record
                 if checkpoint_store is not None:
                     checkpoint_store.append(record)
@@ -656,6 +722,9 @@ class FaultSimulator:
         result.checkpoint_skipped = plan.skipped
         result.nominal_store = info.nominal_store
         result.nominal_ipc_bytes = info.nominal_ipc_bytes
+        result.batch_width = info.batch_width
+        result.early_aborted = info.early_aborted
+        result.solves_shared = info.solves_shared
         result.total_elapsed_seconds = _time.perf_counter() - start
         return result
 

@@ -18,6 +18,13 @@ from .backends import (
     select_backend,
     sparse_available,
 )
+from .batched import (
+    NUMERICS_MODES,
+    BatchedTransient,
+    BlockDiagonalSystem,
+    WoodburySolver,
+    low_rank_update,
+)
 from .dc import (
     DCSweepAnalysis,
     DCSweepResult,
@@ -32,12 +39,18 @@ from .transient import (
     TransientAnalysis,
     TransientOptions,
     TransientResult,
+    TransientRun,
     quantize_step,
 )
 
 __all__ = [
     "ACAnalysis",
     "ACResult",
+    "NUMERICS_MODES",
+    "BatchedTransient",
+    "BlockDiagonalSystem",
+    "WoodburySolver",
+    "low_rank_update",
     "BACKEND_CHOICES",
     "SPARSE_AUTO_THRESHOLD",
     "DenseSolverBackend",
@@ -60,5 +73,6 @@ __all__ = [
     "TransientAnalysis",
     "TransientOptions",
     "TransientResult",
+    "TransientRun",
     "quantize_step",
 ]

@@ -404,92 +404,20 @@ class TransientAnalysis:
         return times
 
     def run(self) -> TransientResult:
-        builder = MNABuilder(self.circuit, self.options,
-                             solver_backend=self.solver_backend)
+        run = TransientRun(self)
+        while run.advance():
+            pass
+        return run.finish()
 
-        x0 = self._initial_solution(builder)
-        state = builder.new_state("tran")
-        state.use_ic = self.use_ic
-        state.x = x0.copy()
-        state.time = 0.0
+    def start(self) -> "TransientRun":
+        """Begin an incrementally drivable run (see :class:`TransientRun`).
 
-        for device in builder.devices:
-            device.init_state(state)
-
-        times = self.print_grid()
-        num_outputs = len(times)
-        select = self._recorded_columns(builder)
-        if select is None:
-            # One row per print point; node/branch traces are column views.
-            data = np.zeros((num_outputs, builder.size))
-        else:
-            # Observed-node streaming: keep only the selected columns.
-            data = np.zeros((num_outputs, len(select[0])))
-        tail_rows: dict[int, int] = {}
-        tail_data = None
-        if select is not None and self.tail_downsample > 0:
-            # Downsampled full-width tail for reporting: every Nth print
-            # point plus the final one.
-            rows = list(range(0, num_outputs, self.tail_downsample))
-            if rows[-1] != num_outputs - 1:
-                rows.append(num_outputs - 1)
-            tail_rows = {print_index: row for row, print_index in
-                         enumerate(rows)}
-            tail_data = np.zeros((len(rows), builder.size))
-            tail_data[0] = state.x
-        data[0] = state.x if select is None else state.x[select[0]]
-
-        def emit(output_index: int, x: np.ndarray) -> None:
-            data[output_index] = x if select is None else x[select[0]]
-            if tail_data is not None and output_index in tail_rows:
-                tail_data[tail_rows[output_index]] = x
-
-        if self.timestep.mode == "adaptive":
-            counters = self._run_adaptive(builder, state, times, emit)
-        else:
-            counters = self._run_fixed(builder, state, times, emit)
-
-        if select is None:
-            node_traces = {name: data[:, index]
-                           for name, index in builder.node_index.items()}
-            branch_traces = {}
-            if self.record_currents:
-                branch_traces = {device.name.lower():
-                                 data[:, device.branch_index]
-                                 for device in builder.devices
-                                 if device.branch_count() > 0}
-        else:
-            node_traces = {}
-            branch_traces = {}
-            for column, (name, is_branch) in enumerate(select[1]):
-                target = branch_traces if is_branch else node_traces
-                target[name] = data[:, column]
-        tail_time = None
-        tail_traces = None
-        if tail_data is not None:
-            tail_time = times[sorted(tail_rows)]
-            tail_traces = {name: tail_data[:, index]
-                           for name, index in builder.node_index.items()
-                           if name not in node_traces}
-
-        stats = {
-            "linear_bypass": builder.is_linear,
-            "solver_backend": builder.backend.name,
-            "matrix_size": builder.size,
-            "timestep_mode": self.timestep.mode,
-            "recorded_nodes": (data.shape[1] if select is not None
-                               else len(builder.node_index)),
-            "trace_bytes": int(data.nbytes) + (0 if tail_data is None
-                                               else int(tail_data.nbytes)),
-        }
-        stats.update(counters)
-        # ``steps_accepted``/``steps_rejected`` are the documented telemetry
-        # names; the historical ``accepted_steps``/``rejected_steps`` keys
-        # are kept as aliases for existing consumers.
-        stats["accepted_steps"] = stats["steps_accepted"]
-        stats["rejected_steps"] = stats["steps_rejected"]
-        return TransientResult(times, node_traces, branch_traces, stats=stats,
-                               tail_time=tail_time, tail_traces=tail_traces)
+        ``run()`` is exactly ``start()`` driven to completion, so a caller
+        advancing the returned object print interval by print interval (the
+        batched campaign driver does) performs the same arithmetic in the
+        same order as a plain ``run()``.
+        """
+        return TransientRun(self)
 
     # ------------------------------------------------------------------
     # Timestep drivers
@@ -499,92 +427,6 @@ class TransientAnalysis:
         if self.timestep.dt_min is not None:
             return self.timestep.dt_min
         return self.tstep * self.options.min_step_fraction
-
-    def _run_fixed(self, builder: MNABuilder, state: SimState,
-                   times: np.ndarray, emit) -> dict:
-        """The legacy driver: one internal sub-step per print interval,
-        halved on Newton failure, grown back gently.  Deliberately
-        bit-identical to the historical behaviour (campaign checkpoints
-        rely on it), apart from the clearer :class:`TransientError` when
-        the step is driven below the ``dt_min`` floor.
-        """
-        options = self.options
-        use_trap = options.integration.lower().startswith("trap")
-        min_step = self._dt_floor()
-        step = self.tstep
-        first_step_done = False
-
-        linear = builder.is_linear
-        lu_cache = _LRUCache(self.timestep.solver_cache_size)
-        newton_iterations = 0
-        accepted_steps = 0
-        rejected_steps = 0
-        dt_smallest = math.inf
-        dt_largest = 0.0
-
-        for output_index in range(1, len(times)):
-            target = times[output_index]
-            while state.time < target - 1e-18 * max(1.0, target):
-                # The actual sub-step is the adaptive step clamped to the
-                # print target; ``step`` itself keeps the adaptive history so
-                # that a tiny clamped final sub-step cannot distort the
-                # accepted-step recovery below.
-                dt = min(step, target - state.time)
-                accepted = False
-                while not accepted:
-                    # Integration coefficients: backward Euler for the very
-                    # first step (damps the inconsistent initial derivative),
-                    # trapezoidal afterwards if requested.
-                    if use_trap and first_step_done:
-                        state.integ_c0 = 2.0 / dt
-                        state.integ_c1 = 1.0
-                    else:
-                        state.integ_c0 = 1.0 / dt
-                        state.integ_c1 = 0.0
-                    state.dt = dt
-                    saved_x = state.x.copy()
-                    state.time += dt
-                    try:
-                        if linear:
-                            self._solve_linear_step(builder, state, lu_cache)
-                            newton_iterations += 1
-                        else:
-                            solve_newton(builder, state, x0=saved_x,
-                                         max_iterations=options.itl4)
-                            newton_iterations += state.last_newton_iterations
-                        accepted = True
-                    except (ConvergenceError, SingularMatrixError) as exc:
-                        # Reject: restore and halve the sub-step; the
-                        # adaptive step follows the rejection.
-                        state.time -= dt
-                        state.x = saved_x
-                        rejected_steps += 1
-                        dt *= 0.5
-                        step = dt
-                        if dt < min_step:
-                            raise TransientError(
-                                f"transient step fell below dt_min="
-                                f"{min_step:g}s at t={state.time:g}s "
-                                f"({exc})") from exc
-                builder.accept_timestep(state)
-                first_step_done = True
-                accepted_steps += 1
-                dt_smallest = min(dt_smallest, dt)
-                dt_largest = max(dt_largest, dt)
-                # Gentle step recovery towards the print interval, driven
-                # only by genuinely accepted adaptive steps (a clamped final
-                # sub-step leaves the adaptive step untouched).
-                if dt >= step and step < self.tstep:
-                    step = min(step * 2.0, self.tstep)
-            emit(output_index, state.x)
-
-        return {
-            "newton_iterations": newton_iterations,
-            "steps_accepted": accepted_steps,
-            "steps_rejected": rejected_steps,
-            "dt_min": 0.0 if accepted_steps == 0 else dt_smallest,
-            "dt_max": dt_largest,
-        }
 
     def _run_adaptive(self, builder: MNABuilder, state: SimState,
                       times: np.ndarray, emit) -> dict:
@@ -899,3 +741,311 @@ class TransientAnalysis:
             solver = base.freeze_solver()
             lu_cache.put(key, solver)
         state.x = solver(base.rhs)
+
+
+class TransientRun:
+    """One transient analysis, drivable print interval by print interval.
+
+    ``TransientAnalysis.run()`` is literally this object driven to
+    completion, so advancing several ``TransientRun`` instances in lockstep
+    (the batched fault-campaign driver of
+    :mod:`repro.spice.analysis.batched`) performs per-variant arithmetic
+    that is operation-for-operation identical to running each analysis
+    serially — the foundation of the batched-vs-serial differential
+    guarantee.
+
+    Construction solves the initial state and allocates the output buffers;
+    :meth:`advance` integrates up to the next print point and records it;
+    :meth:`finish` assembles the :class:`TransientResult`.  ``finish`` may
+    be called before the grid is exhausted (rows past the cursor stay
+    zero), which is how early-aborted batch variants surface their partial
+    statistics.
+
+    ``mode="adaptive"`` cannot be paused at print points (accepted steps
+    interpolate across them), so for that mode the first :meth:`advance`
+    runs the whole analysis in one call.
+    """
+
+    def __init__(self, analysis: TransientAnalysis):
+        """Solve the initial state of ``analysis`` and allocate buffers."""
+        self.analysis = analysis
+        builder = MNABuilder(analysis.circuit, analysis.options,
+                             solver_backend=analysis.solver_backend)
+        self.builder = builder
+
+        x0 = analysis._initial_solution(builder)
+        state = builder.new_state("tran")
+        state.use_ic = analysis.use_ic
+        state.x = x0.copy()
+        state.time = 0.0
+        for device in builder.devices:
+            device.init_state(state)
+        self.state = state
+
+        self.times = analysis.print_grid()
+        num_outputs = len(self.times)
+        select = analysis._recorded_columns(builder)
+        self._select = select
+        if select is None:
+            # One row per print point; node/branch traces are column views.
+            self.data = np.zeros((num_outputs, builder.size))
+        else:
+            # Observed-node streaming: keep only the selected columns.
+            self.data = np.zeros((num_outputs, len(select[0])))
+        self._tail_rows: dict[int, int] = {}
+        self._tail_data = None
+        if select is not None and analysis.tail_downsample > 0:
+            # Downsampled full-width tail for reporting: every Nth print
+            # point plus the final one.
+            rows = list(range(0, num_outputs, analysis.tail_downsample))
+            if rows[-1] != num_outputs - 1:
+                rows.append(num_outputs - 1)
+            self._tail_rows = {print_index: row for row, print_index in
+                               enumerate(rows)}
+            self._tail_data = np.zeros((len(rows), builder.size))
+            self._tail_data[0] = state.x
+        self.data[0] = state.x if select is None else state.x[select[0]]
+
+        #: Optional shared-numerics hook consulted on linear solver-cache
+        #: misses: ``hook(builder, base_system, key)`` returns a frozen
+        #: solver (e.g. a Woodbury update of the nominal factorisation) or
+        #: ``None`` to fall back to the variant's own factorisation.
+        self.solver_hook = None
+        #: Number of linear solves served by a hook-provided shared solver.
+        self.solves_shared = 0
+
+        self._adaptive = analysis.timestep.mode == "adaptive"
+        self._use_trap = analysis.options.integration.lower().startswith(
+            "trap")
+        self._min_step = analysis._dt_floor()
+        self._step = analysis.tstep
+        self._first_step_done = False
+        self._linear = builder.is_linear
+        self._lu_cache = _LRUCache(analysis.timestep.solver_cache_size)
+        self._newton_iterations = 0
+        self._accepted_steps = 0
+        self._rejected_steps = 0
+        self._dt_smallest = math.inf
+        self._dt_largest = 0.0
+        self._adaptive_counters: dict | None = None
+        self._output_index = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def output_index(self) -> int:
+        """Index of the next print row to be produced by :meth:`advance`."""
+        return self._output_index
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every print row has been produced."""
+        return self._output_index >= len(self.times)
+
+    def signal_column(self, signal: str) -> int | None:
+        """Column of ``signal`` in :attr:`data` rows, ``None`` for ground.
+
+        Resolves node names first, then device branch currents — the same
+        lookup order as :meth:`TransientAnalysis._recorded_columns` and
+        :meth:`TransientResult.waveform`, so a streaming batch driver reads
+        exactly the samples a serial run would hand the comparator.
+        """
+        key = normalize_node(str(signal))
+        if key == GROUND:
+            return None
+        if self._select is not None:
+            for column, (name, _is_branch) in enumerate(self._select[1]):
+                if name == key:
+                    return column
+            raise AnalysisError(
+                f"signal {signal!r} is not among the recorded columns")
+        if key in self.builder.node_index:
+            return self.builder.node_index[key]
+        for device in self.builder.devices:
+            if device.name.lower() == key and device.branch_count() > 0:
+                return device.branch_index
+        raise AnalysisError(
+            f"signal {signal!r} matches no node or branch current")
+
+    # ------------------------------------------------------------------
+    def _write(self, output_index: int, x: np.ndarray) -> None:
+        self.data[output_index] = x if self._select is None else \
+            x[self._select[0]]
+        if self._tail_data is not None and output_index in self._tail_rows:
+            self._tail_data[self._tail_rows[output_index]] = x
+
+    def advance(self) -> bool:
+        """Integrate to the next print point and record its row.
+
+        Returns ``True`` while further print rows remain (call again),
+        ``False`` once the grid is exhausted.  Raises
+        :class:`TransientError` (or :class:`SingularMatrixError` /
+        :class:`ConvergenceError` from deeper layers) exactly as the
+        one-shot ``run()`` would; the run is dead afterwards.
+        """
+        if self._output_index >= len(self.times):
+            return False
+        if self._adaptive:
+            # The adaptive driver interpolates print points inside accepted
+            # steps and cannot pause between them: run it to completion.
+            self._adaptive_counters = self.analysis._run_adaptive(
+                self.builder, self.state, self.times, self._write)
+            self._output_index = len(self.times)
+            return False
+        self._advance_fixed()
+        self._write(self._output_index, self.state.x)
+        self._output_index += 1
+        return self._output_index < len(self.times)
+
+    def _advance_fixed(self) -> None:
+        """One print interval of the legacy fixed-step driver.
+
+        This is the historical ``_run_fixed`` loop body, verbatim: one
+        internal sub-step per print interval, halved on Newton failure and
+        grown back gently.  Deliberately bit-identical to the historical
+        behaviour (campaign checkpoints rely on it).
+        """
+        analysis = self.analysis
+        options = analysis.options
+        state = self.state
+        target = self.times[self._output_index]
+        while state.time < target - 1e-18 * max(1.0, target):
+            # The actual sub-step is the adaptive step clamped to the
+            # print target; ``step`` itself keeps the adaptive history so
+            # that a tiny clamped final sub-step cannot distort the
+            # accepted-step recovery below.
+            dt = min(self._step, target - state.time)
+            accepted = False
+            while not accepted:
+                # Integration coefficients: backward Euler for the very
+                # first step (damps the inconsistent initial derivative),
+                # trapezoidal afterwards if requested.
+                if self._use_trap and self._first_step_done:
+                    state.integ_c0 = 2.0 / dt
+                    state.integ_c1 = 1.0
+                else:
+                    state.integ_c0 = 1.0 / dt
+                    state.integ_c1 = 0.0
+                state.dt = dt
+                saved_x = state.x.copy()
+                state.time += dt
+                try:
+                    if self._linear:
+                        self._solve_linear_step()
+                        self._newton_iterations += 1
+                    else:
+                        solve_newton(self.builder, state, x0=saved_x,
+                                     max_iterations=options.itl4)
+                        self._newton_iterations += \
+                            state.last_newton_iterations
+                    accepted = True
+                except (ConvergenceError, SingularMatrixError) as exc:
+                    # Reject: restore and halve the sub-step; the
+                    # adaptive step follows the rejection.
+                    state.time -= dt
+                    state.x = saved_x
+                    self._rejected_steps += 1
+                    dt *= 0.5
+                    self._step = dt
+                    if dt < self._min_step:
+                        raise TransientError(
+                            f"transient step fell below dt_min="
+                            f"{self._min_step:g}s at t={state.time:g}s "
+                            f"({exc})") from exc
+            self.builder.accept_timestep(state)
+            self._first_step_done = True
+            self._accepted_steps += 1
+            self._dt_smallest = min(self._dt_smallest, dt)
+            self._dt_largest = max(self._dt_largest, dt)
+            # Gentle step recovery towards the print interval, driven
+            # only by genuinely accepted adaptive steps (a clamped final
+            # sub-step leaves the adaptive step untouched).
+            if dt >= self._step and self._step < analysis.tstep:
+                self._step = min(self._step * 2.0, analysis.tstep)
+
+    def _solve_linear_step(self) -> None:
+        """Linear sub-step through the per-run factorisation cache.
+
+        Same contract as :meth:`TransientAnalysis._solve_linear_step`,
+        with one extension: on a cache miss :attr:`solver_hook` (when set)
+        may supply a shared solver — a nominal factorisation plus low-rank
+        update — instead of factorising this variant's own matrix.
+        """
+        state = self.state
+        base = self.builder.assemble_constant(state)
+        key = (state.integ_c0, state.integ_c1, state.gmin)
+        solver = self._lu_cache.get(key)
+        if solver is None:
+            if self.solver_hook is not None:
+                shared = self.solver_hook(self.builder, base, key)
+                if shared is not None:
+                    def solver(rhs, _shared=shared):
+                        self.solves_shared += 1
+                        return _shared(rhs)
+            if solver is None:
+                solver = base.freeze_solver()
+            self._lu_cache.put(key, solver)
+        state.x = solver(base.rhs)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> TransientResult:
+        """Assemble the :class:`TransientResult` from the recorded rows."""
+        analysis = self.analysis
+        builder = self.builder
+        data = self.data
+        select = self._select
+        times = self.times
+        tail_data = self._tail_data
+        tail_rows = self._tail_rows
+
+        if select is None:
+            node_traces = {name: data[:, index]
+                           for name, index in builder.node_index.items()}
+            branch_traces = {}
+            if analysis.record_currents:
+                branch_traces = {device.name.lower():
+                                 data[:, device.branch_index]
+                                 for device in builder.devices
+                                 if device.branch_count() > 0}
+        else:
+            node_traces = {}
+            branch_traces = {}
+            for column, (name, is_branch) in enumerate(select[1]):
+                target = branch_traces if is_branch else node_traces
+                target[name] = data[:, column]
+        tail_time = None
+        tail_traces = None
+        if tail_data is not None:
+            tail_time = times[sorted(tail_rows)]
+            tail_traces = {name: tail_data[:, index]
+                           for name, index in builder.node_index.items()
+                           if name not in node_traces}
+
+        if self._adaptive_counters is not None:
+            counters = self._adaptive_counters
+        else:
+            counters = {
+                "newton_iterations": self._newton_iterations,
+                "steps_accepted": self._accepted_steps,
+                "steps_rejected": self._rejected_steps,
+                "dt_min": (0.0 if self._accepted_steps == 0
+                           else self._dt_smallest),
+                "dt_max": self._dt_largest,
+            }
+        stats = {
+            "linear_bypass": builder.is_linear,
+            "solver_backend": builder.backend.name,
+            "matrix_size": builder.size,
+            "timestep_mode": analysis.timestep.mode,
+            "recorded_nodes": (data.shape[1] if select is not None
+                               else len(builder.node_index)),
+            "trace_bytes": int(data.nbytes) + (0 if tail_data is None
+                                               else int(tail_data.nbytes)),
+        }
+        stats.update(counters)
+        # ``steps_accepted``/``steps_rejected`` are the documented telemetry
+        # names; the historical ``accepted_steps``/``rejected_steps`` keys
+        # are kept as aliases for existing consumers.
+        stats["accepted_steps"] = stats["steps_accepted"]
+        stats["rejected_steps"] = stats["steps_rejected"]
+        return TransientResult(times, node_traces, branch_traces, stats=stats,
+                               tail_time=tail_time, tail_traces=tail_traces)
