@@ -47,6 +47,9 @@ from .executors import (
     ShardExecutor,
     merge_shards,
 )
+from .service import CampaignJob, CampaignService, LeaseMachine, serve
+from .remote import RemoteExecutor, ServiceClient, WorkerClient
+from .wire import settings_from_wire, settings_to_wire
 
 __all__ = [
     "FaultModelOptions",
@@ -92,4 +95,13 @@ __all__ = [
     "BatchedExecutor",
     "ShardExecutor",
     "merge_shards",
+    "LeaseMachine",
+    "CampaignJob",
+    "CampaignService",
+    "serve",
+    "ServiceClient",
+    "WorkerClient",
+    "RemoteExecutor",
+    "settings_to_wire",
+    "settings_from_wire",
 ]

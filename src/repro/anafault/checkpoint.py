@@ -42,7 +42,7 @@ CHECKPOINT_VERSION = 1
 #: ``payload_bytes``, which reports per-run IPC cost and never round-trips).
 RECORD_FIELDS = ("status", "detection_time", "detected_on", "max_deviation",
                  "elapsed_seconds", "message", "newton_iterations",
-                 "steps_accepted", "steps_rejected", "trace_bytes")
+                 "steps_accepted", "steps_rejected", "trace_bytes", "attempt")
 
 #: Settings fields excluded from the fingerprint: they configure how the
 #: engine spends memory and IPC, never what is simulated, so toggling them
@@ -277,9 +277,20 @@ class CampaignCheckpoint:
         if self._handle is None:
             raise CampaignError(
                 "checkpoint is not open for appending; call start() first")
-        entry = {"kind": "record", "fault_id": record.fault.fault_id}
+        self.append_payload(record.fault.fault_id,
+                            {name: getattr(record, name, None)
+                             for name in RECORD_FIELDS})
+
+    def append_payload(self, fault_id: int, payload: dict) -> None:
+        """Persist one finished record given as its wire/checkpoint payload
+        dict (what the campaign service receives from a worker — the
+        record object itself never crosses the socket)."""
+        if self._handle is None:
+            raise CampaignError(
+                "checkpoint is not open for appending; call start() first")
+        entry = {"kind": "record", "fault_id": int(fault_id)}
         for name in RECORD_FIELDS:
-            entry[name] = getattr(record, name, None)
+            entry[name] = payload.get(name)
         self._write(entry)
 
     def _write(self, entry: dict) -> None:

@@ -23,6 +23,14 @@ over a netlist and optional fault-list file without simulating anything;
 (``--preflight error|warn|off``, default ``error``) and refuse to start a
 campaign whose netlist or fault list carries error-severity diagnostics.
 
+Four more subcommands drive the **campaign service** — the lease-based
+scheduler daemon of :mod:`repro.anafault.service` (see
+``docs/service.md``): ``serve`` runs the daemon over a spool directory,
+``work`` runs the pull-based worker loop against it, ``submit`` submits a
+campaign (by default waiting for the result and writing the standard
+overview/checkpoint, exactly like ``run`` — just executed by remote
+workers), and ``status`` prints the daemon's JSON status.
+
 A minimal two-host session (see ``docs/campaigns.md`` for the full
 walkthrough)::
 
@@ -59,8 +67,17 @@ from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
 from .comparator import ToleranceSettings
 from .executors import BatchedExecutor, ShardExecutor, merge_shards
 from .models import RESISTOR_MODEL, SOURCE_MODEL, FaultModelOptions
+from .remote import (RemoteExecutor, ServiceClient, WorkerClient,
+                     chaos_crash_after, chaos_hang_after)
 from .report import format_overview
+from .service import serve as _build_service_server
 from .simulator import CampaignResult, CampaignSettings, FaultSimulator
+from .wire import parse_address, settings_to_wire
+
+#: Line a ``work --chaos-hang-after`` worker prints the moment it starts
+#: hanging while holding a live lease — the chaos harness (tests and the
+#: CI ``campaign-service`` job) waits for it before delivering SIGKILL.
+CHAOS_HANG_MARKER = "chaos: hanging while holding a lease"
 
 #: Record fields compared by ``merge --verify`` — the verdict-level
 #: identity of a record (no timing or IPC telemetry).
@@ -357,6 +374,100 @@ def _cmd_lint(args, out) -> int:
     return 1 if report.has_errors else 0
 
 
+def _service_options(args) -> dict:
+    """The per-campaign scheduler overrides a ``submit`` carries (only the
+    flags the user actually set — the daemon's defaults win otherwise)."""
+    options = {}
+    if args.lease_ttl is not None:
+        options["lease_ttl"] = float(args.lease_ttl)
+    if args.max_attempts is not None:
+        options["max_attempts"] = int(args.max_attempts)
+    if args.lease_size is not None:
+        options["lease_size"] = int(args.lease_size)
+    return options
+
+
+def _cmd_serve(args, out) -> int:
+    """Run the scheduler daemon until interrupted (or told to shut down
+    over the wire)."""
+    server = _build_service_server(args.spool, host=args.host,
+                                   port=args.port, lease_ttl=args.lease_ttl,
+                                   max_attempts=args.max_attempts,
+                                   lease_size=args.lease_size)
+    host, port = server.address
+    print(f"campaign service listening on {host}:{port} "
+          f"(spool {server.service.spool}, "
+          f"{len(server.service.jobs)} job(s) restored)", file=out,
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        server.service.close()
+    return 0
+
+
+def _cmd_work(args, out) -> int:
+    """Run the pull-based worker loop against a daemon."""
+    if args.chaos_hang_after is not None and args.chaos_crash_after is not None:
+        raise ReproError("--chaos-hang-after and --chaos-crash-after are "
+                         "mutually exclusive (one chaos mode per worker)")
+    chaos = None
+    if args.chaos_hang_after is not None:
+        chaos = chaos_hang_after(args.chaos_hang_after,
+                                 marker=CHAOS_HANG_MARKER)
+    elif args.chaos_crash_after is not None:
+        chaos = chaos_crash_after(args.chaos_crash_after)
+    worker = WorkerClient(parse_address(args.addr),
+                          worker_id=args.worker_id, poll=args.poll,
+                          chaos=chaos)
+    print(f"worker {worker.worker_id} polling {args.addr}", file=out,
+          flush=True)
+    completed = worker.run(exit_when_done=args.exit_when_done,
+                           max_faults=args.max_faults)
+    print(f"worker {worker.worker_id}: {completed} fault(s) completed",
+          file=out)
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    """Submit a campaign to a daemon; by default wait for the workers to
+    finish it and report exactly like ``run`` (checkpoint included)."""
+    simulator = _load_campaign(args)
+    address = parse_address(args.addr)
+    if args.no_wait:
+        from ..spice.writer import write_netlist
+
+        status = ServiceClient(address).submit(
+            write_netlist(simulator.circuit), simulator.fault_list.dumps(),
+            settings_to_wire(simulator.settings), **_service_options(args))
+        print(json.dumps(status, indent=2, sort_keys=True), file=out)
+        return 0
+    executor = RemoteExecutor(address, wait_timeout=args.wait_timeout,
+                              **_service_options(args))
+    result = simulator.run(executor=executor, checkpoint=args.out)
+    _print_preflight(result, out)
+    print(format_overview(result), file=out)
+    service = result.service
+    print(f"\nservice: {service.get('leases_granted', 0)} lease(s), "
+          f"{service.get('leases_expired', 0)} expired, "
+          f"{service.get('retries', 0)} retried, "
+          f"{service.get('duplicates', 0)} duplicate completion(s), "
+          f"{len(service.get('workers', {}))} worker(s)", file=out)
+    if args.out:
+        print(f"records -> {args.out}", file=out)
+    return 0
+
+
+def _cmd_status(args, out) -> int:
+    """Print a daemon's status (all jobs, or one job) as JSON."""
+    payload = ServiceClient(parse_address(args.addr)).status(args.job)
+    print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.anafault`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -431,6 +542,89 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=(RESISTOR_MODEL, SOURCE_MODEL),
                       help="fault model assumed by the fault-topology rule "
                       "(default: %(default)s)")
+
+    serve = commands.add_parser(
+        "serve", help="run the campaign scheduler daemon",
+        description="Run the lease-based campaign scheduler daemon over a "
+        "spool directory (jobs persist across restarts; see "
+        "docs/service.md).  Prints 'listening on HOST:PORT' once bound; "
+        "--port 0 picks a free port.")
+    serve.add_argument("--spool", required=True, metavar="DIR",
+                       help="spool directory for job queues/descriptors")
+    serve.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=7901, metavar="PORT",
+                       help="bind port; 0 picks a free one "
+                       "(default: %(default)s)")
+    serve.add_argument("--lease-ttl", type=float, default=30.0, metavar="S",
+                       help="seconds before a silent worker's lease expires "
+                       "and its faults are re-queued (default: %(default)s)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="bounded attempts per fault before it is "
+                       "recorded as exhausted (default: %(default)s)")
+    serve.add_argument("--lease-size", type=int, default=4, metavar="K",
+                       help="cost-balanced lease budget: up to K "
+                       "mean-cost faults per slice (default: %(default)s)")
+
+    work = commands.add_parser(
+        "work", help="run a worker loop against the daemon",
+        description="Pull-based worker: poll the daemon for leases, "
+        "simulate the leased faults in-process, report each record back.  "
+        "The --chaos-* flags deliberately misbehave mid-campaign and exist "
+        "for the fault-injection test harness.")
+    work.add_argument("--addr", required=True, metavar="HOST:PORT",
+                      help="daemon address")
+    work.add_argument("--worker-id", default=None, metavar="ID",
+                      help="worker identity (default: hostname-pid)")
+    work.add_argument("--poll", type=float, default=0.25, metavar="S",
+                      help="idle poll interval (default: %(default)s)")
+    work.add_argument("--exit-when-done", action="store_true",
+                      help="exit once the daemon reports every job "
+                      "terminal (instead of polling for new campaigns)")
+    work.add_argument("--max-faults", type=int, default=None, metavar="N",
+                      help="exit after completing N faults (test harness)")
+    work.add_argument("--chaos-hang-after", type=int, default=None,
+                      metavar="N", help="chaos: after N completed faults, "
+                      "print a marker line and hang while holding a lease "
+                      "(the lease must expire and be re-served)")
+    work.add_argument("--chaos-crash-after", type=int, default=None,
+                      metavar="N", help="chaos: after N completed faults, "
+                      "report a failure for the in-flight fault and crash")
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign to the daemon",
+        description="Submit a campaign to the scheduler daemon.  By "
+        "default this waits for the workers to finish and reports exactly "
+        "like 'run' (overview + optional checkpoint file); --no-wait "
+        "returns immediately after the submit round trip.")
+    _add_campaign_arguments(submit)
+    submit.add_argument("--addr", required=True, metavar="HOST:PORT",
+                        help="daemon address")
+    submit.add_argument("--out", default=None, metavar="PATH",
+                        help="write the finished records as a checkpoint-"
+                        "format JSONL file (mergeable/verifiable)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="submit and return immediately (print the "
+                        "job's status JSON instead of waiting)")
+    submit.add_argument("--wait-timeout", type=float, default=600.0,
+                        metavar="S", help="give up waiting after S seconds "
+                        "(default: %(default)s)")
+    submit.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                        help="override the daemon's lease TTL for this job")
+    submit.add_argument("--max-attempts", type=int, default=None,
+                        metavar="N",
+                        help="override the daemon's bounded attempt count")
+    submit.add_argument("--lease-size", type=int, default=None, metavar="K",
+                        help="override the daemon's lease-slice budget")
+
+    status = commands.add_parser(
+        "status", help="print the daemon's status as JSON",
+        description="One status round trip: all jobs (default) or one "
+        "--job fingerprint, printed as JSON.")
+    status.add_argument("--addr", required=True, metavar="HOST:PORT",
+                        help="daemon address")
+    status.add_argument("--job", default=None, metavar="FINGERPRINT",
+                        help="show one job instead of the whole daemon")
     return parser
 
 
@@ -441,7 +635,9 @@ def main(argv=None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = {"run": _cmd_run, "shard": _cmd_shard,
-               "merge": _cmd_merge, "lint": _cmd_lint}[args.command]
+               "merge": _cmd_merge, "lint": _cmd_lint,
+               "serve": _cmd_serve, "work": _cmd_work,
+               "submit": _cmd_submit, "status": _cmd_status}[args.command]
     try:
         return handler(args, out)
     except (ReproError, OSError, ValueError) as exc:

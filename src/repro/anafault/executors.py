@@ -66,14 +66,19 @@ def validate_shard_spec(shard_index: int, shard_count: int) -> None:
             "need 0 <= shard_index < shard_count")
 
 
-def record_from_payload(fault: Fault, payload: dict) -> FaultSimulationRecord:
+def record_from_payload(fault: Fault, payload: dict,
+                        reloaded: bool = True) -> FaultSimulationRecord:
     """Rebuild a :class:`~repro.anafault.simulator.FaultSimulationRecord`
     from its checkpoint JSON payload.
 
     The fault object itself comes from the campaign's own fault list (the
     checkpoint persists only the fault id).  ``payload_bytes`` stays 0:
     nothing crossed IPC for a reloaded record, and telemetry reports what
-    *this* run paid.
+    *this* run paid.  ``reloaded=False`` is for records that *are* this
+    run's fresh work arriving as payloads — the campaign service's workers
+    report records over the wire, and :class:`~repro.anafault.remote.RemoteExecutor`
+    must count their kernel work exactly once (only a checkpoint reload
+    re-reads work a previous run already counted).
     """
     return FaultSimulationRecord(
         fault=fault,
@@ -88,7 +93,8 @@ def record_from_payload(fault: Fault, payload: dict) -> FaultSimulationRecord:
         steps_rejected=int(payload.get("steps_rejected") or 0),
         trace_bytes=int(payload.get("trace_bytes") or 0),
         payload_bytes=0,
-        reloaded=True)
+        reloaded=reloaded,
+        attempt=int(payload.get("attempt") or 1))
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +179,10 @@ class ExecutionInfo:
     #: Linear solves served by a shared (nominal/block-diagonal)
     #: factorisation (``BatchedExecutor(numerics="shared")`` only).
     solves_shared: int = 0
+    #: Scheduler-daemon counters and per-worker throughput of a
+    #: :class:`~repro.anafault.remote.RemoteExecutor` run (empty for the
+    #: local executors); copied onto ``CampaignResult.service``.
+    service: dict = field(default_factory=dict)
 
 
 class CampaignExecutor(Protocol):

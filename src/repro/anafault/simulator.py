@@ -149,6 +149,13 @@ class FaultSimulationRecord:
     #: flag only keeps :meth:`CampaignResult.telemetry` step totals from
     #: counting the original run's kernel work a second time on resume.
     reloaded: bool = False
+    #: 1-based attempt that produced this record (the campaign service
+    #: retries failed faults up to a bounded attempt count; a serial run
+    #: always succeeds or fails on attempt 1).  Only the final attempt's
+    #: record exists — earlier failed attempts emit no record — so the
+    #: kernel-work totals in :meth:`CampaignResult.telemetry` stay
+    #: single-counted; ``attempts_total`` surfaces the consumed retries.
+    attempt: int = 1
 
     @property
     def detected(self) -> bool:
@@ -236,6 +243,11 @@ class CampaignResult:
     #: Linear solves served by a shared factorisation instead of a
     #: per-variant one (0 unless batched ``numerics="shared"``).
     solves_shared: int = 0
+    #: Scheduler-daemon counters of a remotely executed campaign —
+    #: ``leases_granted``/``leases_expired``/``retries``/``duplicates``
+    #: and the per-worker throughput table (empty for local executors).
+    #: See :mod:`repro.anafault.service` and ``docs/service.md``.
+    service: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
@@ -342,6 +354,13 @@ class CampaignResult:
             "early_aborted": self.early_aborted,
             "solves_shared": self.solves_shared,
             "checkpoint_skipped": self.checkpoint_skipped,
+            # Retry accounting (campaign service): only the final attempt
+            # of a fault produces a record, so the step/iteration totals
+            # above are single-counted by construction; these two surface
+            # how much retrying it took to get there.
+            "attempts_total": sum(int(r.attempt or 1) for r in records),
+            "retried_faults": sum(1 for r in records
+                                  if int(r.attempt or 1) > 1),
             "preflight": self.preflight,
             "preflight_errors": sum(
                 1 for d in self.preflight_diagnostics
@@ -725,6 +744,7 @@ class FaultSimulator:
         result.batch_width = info.batch_width
         result.early_aborted = info.early_aborted
         result.solves_shared = info.solves_shared
+        result.service = dict(getattr(info, "service", None) or {})
         result.total_elapsed_seconds = _time.perf_counter() - start
         return result
 

@@ -16,6 +16,11 @@ from .faults import (
     StuckOpenFault,
 )
 
+#: Comment lines :meth:`FaultList.dumps` writes and :meth:`FaultList.loads`
+#: reads back (round-trip fidelity keys the campaign fingerprint).
+_HEADER_PREFIX = "* LIFT realistic fault list: "
+_META_PREFIX = "* meta "
+
 
 @dataclass
 class FaultList:
@@ -112,9 +117,9 @@ class FaultList:
     # Serialisation (the LIFT -> AnaFAULT interface file)
     # ------------------------------------------------------------------
     def dumps(self) -> str:
-        lines = [f"* LIFT realistic fault list: {self.name}"]
+        lines = [f"{_HEADER_PREFIX}{self.name}"]
         for key, value in sorted(self.metadata.items()):
-            lines.append(f"* meta {key}={value}")
+            lines.append(f"{_META_PREFIX}{key}={value}")
         for fault in self.faults:
             lines.append(_fault_to_record(fault))
         return "\n".join(lines) + "\n"
@@ -124,11 +129,30 @@ class FaultList:
             handle.write(self.dumps())
 
     @classmethod
-    def loads(cls, text: str, name: str = "fault list") -> "FaultList":
-        fault_list = cls(name)
+    def loads(cls, text: str, name: str | None = None) -> "FaultList":
+        """Parse the LIFT interchange text back into a fault list.
+
+        The header comment and ``* meta`` lines :meth:`dumps` writes are
+        read back, so ``loads(x.dumps()).dumps() == x.dumps()`` — the
+        round trip is byte-faithful, which the campaign service relies on
+        (the campaign fingerprint hashes the serialised list, and both
+        ends of the wire must derive the same identity from the same
+        text).  An explicit ``name`` still wins over the embedded one
+        (the CLI pins it for content-only checkpoint identity).
+        """
+        fault_list = cls(name if name is not None else "fault list")
         for line_number, raw in enumerate(text.splitlines(), start=1):
             line = raw.strip()
-            if not line or line.startswith("*"):
+            if not line:
+                continue
+            if line.startswith("*"):
+                if name is None and line.startswith(_HEADER_PREFIX):
+                    fault_list.name = line[len(_HEADER_PREFIX):].strip()
+                elif line.startswith(_META_PREFIX):
+                    key, separator, value = (
+                        line[len(_META_PREFIX):].partition("="))
+                    if separator:
+                        fault_list.metadata[key.strip()] = value
                 continue
             try:
                 fault_list.add(_fault_from_record(line))

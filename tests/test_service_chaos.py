@@ -1,0 +1,263 @@
+"""End-to-end chaos test for the campaign service.
+
+A real daemon and three real worker processes run a 12-fault RC campaign
+over the socket protocol while the test sabotages them:
+
+* one worker is SIGKILLed while it holds a live lease (it hangs after its
+  first completion via ``--chaos-hang-after``, prints a marker, and is
+  killed -9 — no cleanup, no release: the watchdog must expire the lease),
+* one worker crashes with an injected exception (``--chaos-crash-after``),
+  exercising the explicit fail/release path,
+* one worker is honest and finishes the job.
+
+Despite the carnage, the merged campaign result must be record-identical
+to a serial run of the same campaign: identical verdicts, detection times
+and deviations, ``merge --require-complete --verify`` clean — both for
+the client-side checkpoint written by ``submit --out`` and for the
+daemon's own spool queue file.  This is the CI ``campaign-service`` job's
+assertion, kept here as a tier-1 test so it cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.anafault import ServiceClient
+from repro.anafault.cli import CHAOS_HANG_MARKER
+from repro.lift import BridgingFault, FaultList, OpenFault, ParametricFault
+from repro.spice.writer import write_netlist
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Campaign flags shared by run / submit / merge so every invocation
+#: derives the same campaign fingerprint.
+CAMPAIGN_FLAGS = ("--tstop", "5e-3", "--tstep", "5e-5", "--observe", "out",
+                  "--amplitude-tolerance", "0.3", "--time-tolerance", "2e-4")
+
+
+def _cli(*argv: str) -> list[str]:
+    return [sys.executable, "-m", "repro.anafault", *argv]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(ROOT / "src")] + ([env["PYTHONPATH"]]
+                               if env.get("PYTHONPATH") else []))
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def _chaos_fault_list() -> FaultList:
+    faults = FaultList("chaos faults")
+    faults.add(BridgingFault(1, probability=1e-7, net_a="out", net_b="0"))
+    faults.add(BridgingFault(2, probability=1e-7, net_a="in", net_b="out"))
+    faults.add(BridgingFault(3, probability=1e-8, net_a="in", net_b="0"))
+    faults.add(OpenFault(4, probability=1e-8, device="R1", terminal="pos"))
+    faults.add(OpenFault(5, probability=1e-8, device="R1", terminal="neg"))
+    faults.add(OpenFault(6, probability=1e-8, device="C1", terminal="pos"))
+    faults.add(OpenFault(7, probability=1e-8, device="C1", terminal="neg"))
+    for fault_id, device, change in ((8, "R1", 0.01), (9, "R1", 100.0),
+                                     (10, "C1", 3.0), (11, "C1", 0.02),
+                                     (12, "R1", 10.0)):
+        faults.add(ParametricFault(fault_id, probability=1e-9, device=device,
+                                   parameter="value",
+                                   relative_change=change))
+    return faults
+
+
+class _LineReader:
+    """Drain a subprocess stdout on a thread so waits cannot deadlock."""
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        self.proc = proc
+        self.lines: list[str] = []
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        for line in self.proc.stdout:
+            self.lines.append(line.rstrip("\n"))
+
+    def wait_for(self, needle: str, timeout: float) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in list(self.lines):
+                if needle in line:
+                    return line
+            if self.proc.poll() is not None and not any(
+                    needle in line for line in self.lines):
+                pytest.fail(f"process exited (rc={self.proc.returncode}) "
+                            f"before printing {needle!r}; output: "
+                            f"{self.lines}")
+            time.sleep(0.05)
+        pytest.fail(f"timed out waiting for {needle!r}; output so far: "
+                    f"{self.lines}")
+
+
+def _spawn(argv: list[str], procs: list) -> tuple[subprocess.Popen,
+                                                  _LineReader]:
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True,
+                            env=_env(), cwd=str(ROOT))
+    procs.append(proc)
+    return proc, _LineReader(proc)
+
+
+def _wait_until(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+def _records(checkpoint_path: pathlib.Path) -> dict[int, dict]:
+    records = {}
+    for line in checkpoint_path.read_text().splitlines():
+        entry = json.loads(line)
+        if entry.get("kind") == "record":
+            records[entry["fault_id"]] = entry
+    return records
+
+
+@pytest.mark.slow
+def test_three_workers_with_sigkill_match_serial(rc_circuit, tmp_path):
+    netlist_path = tmp_path / "rc.cir"
+    netlist_path.write_text(write_netlist(rc_circuit))
+    faults_path = tmp_path / "faults.lift"
+    _chaos_fault_list().dump(faults_path)
+    spool = tmp_path / "spool"
+    serial_path = tmp_path / "serial.jsonl"
+    results_path = tmp_path / "results.jsonl"
+    campaign = [str(netlist_path), str(faults_path), *CAMPAIGN_FLAGS]
+
+    # Serial reference first: the ground truth the chaotic run must match.
+    reference = subprocess.run(
+        _cli("run", *campaign, "--checkpoint", str(serial_path)),
+        capture_output=True, text=True, env=_env(), cwd=str(ROOT),
+        timeout=300)
+    assert reference.returncode == 0, reference.stdout + reference.stderr
+    assert len(_records(serial_path)) == 12
+
+    procs: list[subprocess.Popen] = []
+    try:
+        # Daemon on an ephemeral port with an aggressive watchdog so the
+        # murdered worker's lease expires within the test's patience.
+        daemon, daemon_out = _spawn(
+            _cli("serve", "--spool", str(spool), "--port", "0",
+                 "--lease-ttl", "2", "--lease-size", "2",
+                 "--max-attempts", "3"), procs)
+        banner = daemon_out.wait_for("listening on", timeout=30)
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, banner
+        address = f"{match.group(1)}:{match.group(2)}"
+        client = ServiceClient(address, timeout=10.0)
+
+        hangman, hangman_out = _spawn(
+            _cli("work", "--addr", address, "--worker-id", "hangman",
+                 "--poll", "0.05", "--chaos-hang-after", "1"), procs)
+        crasher, _ = _spawn(
+            _cli("work", "--addr", address, "--worker-id", "crasher",
+                 "--poll", "0.05", "--chaos-crash-after", "1"), procs)
+        steady, _ = _spawn(
+            _cli("work", "--addr", address, "--worker-id", "steady",
+                 "--poll", "0.05", "--exit-when-done"), procs)
+
+        # Gate the submission on all three workers having checked in, so
+        # every saboteur is guaranteed a seat at the table.
+        _wait_until(
+            lambda: len(client.status().get("workers_seen", [])) >= 3,
+            timeout=60, what="all three workers to register")
+
+        submit, submit_out = _spawn(
+            _cli("submit", *campaign, "--addr", address,
+                 "--out", str(results_path), "--wait-timeout", "240"),
+            procs)
+
+        # Chaos, part 1: wait until the hanging worker holds a live lease,
+        # then SIGKILL it — no release, no goodbye.  Only the watchdog can
+        # recover its faults.
+        hangman_out.wait_for(CHAOS_HANG_MARKER, timeout=120)
+        os.kill(hangman.pid, signal.SIGKILL)
+        assert hangman.wait(timeout=30) != 0
+
+        # Chaos, part 2: the crasher dies on its own injected exception
+        # (after failing its current fault back to the daemon).
+        assert crasher.wait(timeout=120) != 0
+
+        # The survivors finish the campaign regardless.
+        assert submit.wait(timeout=240) == 0, submit_out.lines
+        assert steady.wait(timeout=60) == 0
+
+        status = client.status()
+        (fingerprint,) = status["jobs"].keys()
+        job = status["jobs"][fingerprint]
+        assert job["state"] == "done"
+        assert job["completed"] == 12 and job["pending"] == 0
+        # The watchdog really fired and the bounded-retry path really ran.
+        assert job["leases_expired"] >= 1
+        assert job["retries"] >= 1
+        assert job["failure_reports"] >= 1
+        assert set(job["workers"]) >= {"crasher", "steady"}
+
+        summary = "\n".join(submit_out.lines)
+        assert "expired" in summary  # service telemetry surfaced to the user
+
+        client.shutdown()
+        assert daemon.wait(timeout=30) == 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+        for proc in procs:
+            proc.wait(timeout=30)
+
+    # Record-identity with the serial run, fault by fault.
+    serial_records = _records(serial_path)
+    chaos_records = _records(results_path)
+    assert sorted(chaos_records) == sorted(serial_records)
+    for fault_id, reference_record in sorted(serial_records.items()):
+        survivor = chaos_records[fault_id]
+        for name in ("status", "detection_time", "detected_on",
+                     "max_deviation"):
+            assert survivor[name] == reference_record[name], (
+                f"fault {fault_id} field {name}")
+
+    # At least one fault needed a second attempt (the hanged or crashed
+    # one) and the attempt number made it into the durable record.
+    assert max(entry.get("attempt") or 1
+               for entry in chaos_records.values()) >= 2
+
+    # merge --verify agrees, both for the client-side checkpoint ...
+    verify = subprocess.run(
+        _cli("merge", *campaign, str(results_path), "--require-complete",
+             "--verify", str(serial_path)),
+        capture_output=True, text=True, env=_env(), cwd=str(ROOT),
+        timeout=120)
+    assert verify.returncode == 0, verify.stdout + verify.stderr
+    assert "all 12 merged record(s) match" in verify.stdout
+
+    # ... and for the daemon's own spool queue file, which doubles as a
+    # resumable checkpoint with the same fingerprint.
+    spool_queue = spool / f"{fingerprint}.jsonl"
+    assert spool_queue.exists()
+    spool_verify = subprocess.run(
+        _cli("merge", *campaign, str(spool_queue), "--require-complete",
+             "--verify", str(serial_path)),
+        capture_output=True, text=True, env=_env(), cwd=str(ROOT),
+        timeout=120)
+    assert spool_verify.returncode == 0, (spool_verify.stdout
+                                          + spool_verify.stderr)
+    assert "all 12 merged record(s) match" in spool_verify.stdout
