@@ -12,6 +12,7 @@ from repro.anafault import (
     CampaignSettings,
     FaultModelOptions,
     FaultSimulator,
+    PoolExecutor,
     ToleranceSettings,
 )
 from repro.circuits import OUTPUT_NODE
@@ -35,7 +36,7 @@ def test_text_model_comparison(benchmark, vco_pair, cat_extraction, record,
                 observation_nodes=(OUTPUT_NODE,),
                 tolerances=ToleranceSettings(2.0, 0.2e-6),
                 fault_model=model, **campaign_engine)
-            results[name] = FaultSimulator(circuit, faults, settings).run(workers=2)
+            results[name] = FaultSimulator(circuit, faults, settings).run(executor=PoolExecutor(2))
         return results
 
     results = benchmark.pedantic(run_both, rounds=1, iterations=1)

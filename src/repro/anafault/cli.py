@@ -17,7 +17,14 @@ plan/execute/collect stages of :mod:`repro.anafault.executors`:
     holes, optionally re-emitting the merged records as a checkpoint file
     (``--out``) and verifying them against a reference run (``--verify``).
 
-A fourth subcommand, ``lint``, runs the static analyzer (:mod:`repro.lint`)
+A ``generate`` subcommand closes the loop from the other end: it reads a
+layout text file, extracts its connectivity, runs the defect-driven fault
+generator (:mod:`repro.anafault.faultgen` — generation, collapsing and
+optional importance sampling) and writes a campaign-ready weighted LIFT
+fault list, so a campaign needs zero hand-written faults (see
+``docs/faultgen.md``).
+
+A further subcommand, ``lint``, runs the static analyzer (:mod:`repro.lint`)
 over a netlist and optional fault-list file without simulating anything;
 ``run`` and ``shard`` apply the same checks as their campaign preflight
 (``--preflight error|warn|off``, default ``error``) and refuse to start a
@@ -65,7 +72,8 @@ from ..spice.parser import parse_netlist_file
 from ..units import parse_value
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
 from .comparator import ToleranceSettings
-from .executors import BatchedExecutor, ShardExecutor, merge_shards
+from .executors import (BatchedExecutor, PoolExecutor, ShardExecutor,
+                        merge_shards)
 from .models import RESISTOR_MODEL, SOURCE_MODEL, FaultModelOptions
 from .remote import (RemoteExecutor, ServiceClient, WorkerClient,
                      chaos_crash_after, chaos_hang_after)
@@ -270,7 +278,10 @@ def _cmd_run(args, out) -> int:
         raise ReproError("--early-abort needs --batch-width: only the "
                          "batched executor streams verdicts")
     else:
-        result = simulator.run(workers=args.workers,
+        # None keeps the defaultable serial path (REPRO_FORCE_BATCHED);
+        # the deprecated run(workers=) spelling is for external callers.
+        executor = PoolExecutor(args.workers) if args.workers > 1 else None
+        result = simulator.run(executor=executor,
                                checkpoint=args.checkpoint)
     _print_preflight(result, out)
     print(format_overview(result), file=out)
@@ -340,6 +351,55 @@ def _cmd_merge(args, out) -> int:
         live = len([r for r in result.records if r is not None])
         print(f"verify: all {live} merged record(s) match {args.verify}",
               file=out)
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    """Layout in, campaign-ready weighted LIFT fault list out.
+
+    Reads the layout text file, extracts connectivity, runs the
+    defect-driven generator of :mod:`repro.anafault.faultgen`
+    (generation, collapsing, optional importance sampling) and writes the
+    resulting fault list to ``--out``.  With ``--netlist`` the faults are
+    expressed against the LVS-matched schematic circuit (the netlist a
+    campaign will simulate); without it they target the extracted circuit
+    itself.
+    """
+    from ..extract import compare, extract_netlist
+    from ..layout.textio import read_file
+    from .faultgen import FaultGenOptions, generate_fault_list
+
+    layout = read_file(args.layout)
+    extraction = extract_netlist(layout)
+    schematic = lvs = None
+    if args.netlist is not None:
+        schematic = parse_netlist_file(args.netlist).circuit
+        lvs = compare(extraction.circuit, schematic)
+    defaults = FaultGenOptions()
+    options = FaultGenOptions(
+        min_weight=(defaults.min_weight if args.min_weight is None
+                    else args.min_weight),
+        monte_carlo_samples=(defaults.monte_carlo_samples
+                             if args.monte_carlo is None
+                             else args.monte_carlo))
+    fault_list = generate_fault_list(
+        layout, extraction, schematic=schematic, lvs=lvs, options=options,
+        collapse=not args.no_collapse, sample=args.sample,
+        sample_seed=args.seed)
+    fault_list.dump(args.out)
+
+    candidates = int(fault_list.metadata.get("faultgen_candidates", 0))
+    collapsed = int(fault_list.metadata.get("faultgen_collapsed", 0))
+    reduction = (1.0 - collapsed / candidates) if candidates else 0.0
+    print(f"{args.layout}: {candidates} candidate faults -> "
+          f"{collapsed} after collapsing "
+          f"({reduction:.0%} reduction)", file=out)
+    if args.sample > 0:
+        print(f"importance sample: {args.sample} draws -> "
+              f"{len(fault_list)} unique faults", file=out)
+    print(fault_list.summary(), file=out)
+    print(f"total weight {fault_list.total_weight():.4g} -> {args.out}",
+          file=out)
     return 0
 
 
@@ -525,6 +585,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compare verdicts against a reference "
                        "checkpoint (exit 1 on any mismatch)")
 
+    generate = commands.add_parser(
+        "generate", help="generate a weighted fault list from a layout",
+        description="Run the defect-driven fault generator: enumerate "
+        "weighted candidate faults from a layout text file, collapse "
+        "equivalent candidates, optionally importance-sample the "
+        "universe, and write a campaign-ready LIFT fault list (see "
+        "docs/faultgen.md).")
+    generate.add_argument("layout", help="layout text file to generate from")
+    generate.add_argument("--netlist", default=None, metavar="PATH",
+                          help="schematic netlist the faults should target "
+                          "(LVS-matched; default: the extracted circuit)")
+    generate.add_argument("--out", required=True, metavar="PATH",
+                          help="LIFT fault-list output file")
+    generate.add_argument("--sample", type=int, default=0, metavar="N",
+                          help="draw N weight-proportional faults with "
+                          "replacement instead of keeping the whole "
+                          "universe (default: keep all)")
+    generate.add_argument("--seed", type=int, default=None, metavar="S",
+                          help="importance-sampling seed (default: the "
+                          "generator seed)")
+    generate.add_argument("--min-weight", type=float, default=None,
+                          metavar="W", help="drop collapsed faults below "
+                          "this aggregated weight (default: 1e-9)")
+    generate.add_argument("--no-collapse", action="store_true",
+                          help="keep one fault per geometric site instead "
+                          "of one per equivalence class")
+    generate.add_argument("--monte-carlo", type=int, default=None,
+                          metavar="N", help="Monte-Carlo draws per "
+                          "irregular bridge pair (default: 256; 0 skips "
+                          "irregular geometry)")
+
     lint = commands.add_parser(
         "lint", help="statically check a netlist (and fault list)",
         description="Run the static analyzer (repro.lint) over a netlist "
@@ -635,7 +726,8 @@ def main(argv=None, out=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = {"run": _cmd_run, "shard": _cmd_shard,
-               "merge": _cmd_merge, "lint": _cmd_lint,
+               "merge": _cmd_merge, "generate": _cmd_generate,
+               "lint": _cmd_lint,
                "serve": _cmd_serve, "work": _cmd_work,
                "submit": _cmd_submit, "status": _cmd_status}[args.command]
     try:

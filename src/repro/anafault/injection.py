@@ -114,7 +114,7 @@ class FaultInjector:
                 f"open fault references unknown device {device_name!r}")
         device = circuit.device(device_name)
         if isinstance(device, (Resistor, Capacitor, Inductor)) and \
-                terminal not in ("pos", "neg"):
+                terminal.lower() not in ("pos", "neg"):
             terminal = "pos"
         original, new_node = self._break_terminal(circuit, device_name,
                                                   terminal, fault_id)

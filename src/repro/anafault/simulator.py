@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import os
 import time as _time
+import warnings
 from dataclasses import dataclass, field, replace
 
 from ..errors import (CampaignError, ConvergenceError, PreflightError,
@@ -368,7 +369,23 @@ class CampaignResult:
             "preflight_warnings": sum(
                 1 for d in self.preflight_diagnostics
                 if getattr(d, "severity", "") == "warning"),
+            # Defect-driven generation provenance (zero for hand-written
+            # lists): how many geometric candidates the generator saw, how
+            # many equivalence classes survived collapsing, and how many
+            # importance-sampling draws selected this campaign's faults.
+            "faultgen_candidates": self._faultgen_meta("faultgen_candidates"),
+            "faultgen_collapsed": self._faultgen_meta("faultgen_collapsed"),
+            "faultgen_sampled": self._faultgen_meta("faultgen_sampled"),
         }
+
+    def _faultgen_meta(self, key: str) -> int:
+        """Integer faultgen counter from the fault-list metadata (0 when
+        absent or unparsable — hand-written lists carry none)."""
+        metadata = getattr(self.fault_list, "metadata", None) or {}
+        try:
+            return int(float(str(metadata.get(key, 0))))
+        except ValueError:
+            return 0
 
     def count_by_status(self) -> dict[str, int]:
         """Record count per status string (empty dict for no records)."""
@@ -379,12 +396,17 @@ class CampaignResult:
         return counts
 
     def coverage(self) -> FaultCoverage:
-        """Coverage curve data derived from the per-fault detection times."""
+        """Coverage curve data derived from the per-fault detection times.
+
+        Weighted aggregation uses :attr:`~repro.lift.faults.Fault.
+        effective_weight`, so explicit defect weights (generated fault
+        lists, ``* meta weight.<id>`` lines) take precedence over the
+        occurrence probability."""
         records = self._live_records()
         detection_times = {r.fault.fault_id: r.detection_time
                            for r in records
                            if r.detected and r.detection_time is not None}
-        probabilities = {r.fault.fault_id: r.fault.probability
+        probabilities = {r.fault.fault_id: r.fault.effective_weight
                          for r in records}
         return FaultCoverage(total_faults=len(records),
                              detection_times=detection_times,
@@ -401,7 +423,8 @@ class FaultSimulator:
 
     The campaign manager of the reproduction: runs (and caches) the nominal
     transient, then injects/simulates/classifies every fault of the list —
-    serially or over a process pool (``run(workers=N)``) with the
+    serially or through the pluggable executor seam
+    (``run(executor=PoolExecutor(N))`` for a process pool) with the
     shared-memory nominal store and observed-node streaming configured by
     the :class:`CampaignSettings`, optionally appending every finished
     record to a resumable checkpoint (``run(checkpoint=path)``).  See
@@ -586,8 +609,8 @@ class FaultSimulator:
                             shard_index=shard_index, shard_count=shard_count,
                             preflight=mode, diagnostics=diagnostics)
 
-    def run(self, workers: int = 1, progress_callback=None,
-            checkpoint=None, executor=None) -> CampaignResult:
+    def run(self, workers: int | None = None, progress_callback=None,
+            checkpoint=None, *, executor=None) -> CampaignResult:
         """Run the whole campaign: plan, execute, collect.
 
         The *plan* stage (:meth:`plan`) partitions the fault list against
@@ -600,19 +623,25 @@ class FaultSimulator:
         aside).  A checkpoint written by a *different* campaign raises
         :class:`~repro.errors.CampaignError` instead of mixing results.
 
-        The *execute* stage is pluggable
-        (:mod:`repro.anafault.executors`): ``executor`` defaults to a
-        ``PoolExecutor(workers)`` when ``workers > 1`` — a process pool
-        with the shared-memory nominal (section II mentions the
-        workstation-cluster parallelisation of AnaFAULT; fault-level
-        parallelism is embarrassingly parallel) — and a ``SerialExecutor``
-        otherwise.  Pass a ``ShardExecutor`` to run one cross-host shard;
-        its slice and JSONL output path (the reserved
+        The *execute* stage is pluggable, and ``executor`` is the single
+        execution seam (:mod:`repro.anafault.executors`): pass
+        ``PoolExecutor(N)`` for a process pool with the shared-memory
+        nominal (section II mentions the workstation-cluster
+        parallelisation of AnaFAULT; fault-level parallelism is
+        embarrassingly parallel), a ``ShardExecutor`` to run one
+        cross-host shard (its slice and JSONL output path — the reserved
         ``shard_index``/``shard_count``/``checkpoint`` executor
-        attributes) are honoured automatically.  ``workers`` only selects
-        the default executor: combining it with an explicit ``executor``
-        raises — parallelism belongs to the executor
-        (``ShardExecutor(..., workers=N)``, ``PoolExecutor(N)``).
+        attributes — are honoured automatically), a ``BatchedExecutor``
+        for lockstep SIMD batches, or nothing for the ``SerialExecutor``
+        default.
+
+        ``workers`` is the *deprecated* spelling of that choice: passing
+        it emits a :class:`DeprecationWarning` and constructs the exact
+        executor the old API did (``PoolExecutor(workers)`` for
+        ``workers > 1``, the serial default otherwise), so legacy calls
+        stay behaviorally identical record for record.  Combining it with
+        an explicit ``executor`` raises — parallelism belongs to the
+        executor (``PoolExecutor(N)``, ``ShardExecutor(..., workers=N)``).
 
         The *collect* stage assembles the ordered records, the executor's
         telemetry and the timings into the :class:`CampaignResult`.
@@ -625,8 +654,18 @@ class FaultSimulator:
         """
         from .executors import BatchedExecutor, PoolExecutor, SerialExecutor
 
+        if workers is not None:
+            warnings.warn(
+                "FaultSimulator.run(workers=N) is deprecated; pass "
+                "executor=PoolExecutor(N) (or SerialExecutor()) instead",
+                DeprecationWarning, stacklevel=2)
+            if executor is not None and workers != 1:
+                raise CampaignError(
+                    "run(workers=..., executor=...) is ambiguous: give "
+                    "the worker count to the executor instead "
+                    "(PoolExecutor(N), ShardExecutor(..., workers=N))")
         if executor is None:
-            if workers > 1:
+            if workers is not None and workers > 1:
                 executor = PoolExecutor(workers)
             else:
                 executor = SerialExecutor()
@@ -641,11 +680,6 @@ class FaultSimulator:
                                     "fixed") == "fixed"):
                     width = int(forced) if forced.isdigit() else 4
                     executor = BatchedExecutor(batch_width=max(1, width))
-        elif workers != 1:
-            raise CampaignError(
-                "run(workers=..., executor=...) is ambiguous: give the "
-                "worker count to the executor instead (PoolExecutor(N), "
-                "ShardExecutor(..., workers=N))")
         executor_checkpoint = getattr(executor, "checkpoint", None)
         if checkpoint is None:
             # A ShardExecutor brings its own JSONL output file.
@@ -751,8 +785,16 @@ class FaultSimulator:
 
 def run_campaign(circuit: Circuit, fault_list: FaultList,
                  settings: CampaignSettings | None = None,
-                 workers: int = 1, checkpoint=None) -> CampaignResult:
-    """Convenience wrapper: build a :class:`FaultSimulator` and run it
-    (``workers``/``checkpoint`` forwarded to :meth:`FaultSimulator.run`)."""
-    return FaultSimulator(circuit, fault_list, settings).run(
-        workers=workers, checkpoint=checkpoint)
+                 workers: int | None = None, checkpoint=None, *,
+                 executor=None) -> CampaignResult:
+    """Convenience wrapper: build a :class:`FaultSimulator` and run it.
+
+    ``executor``/``checkpoint`` are forwarded to
+    :meth:`FaultSimulator.run` — the same single execution seam —
+    including the deprecated ``workers`` spelling (and its
+    :class:`DeprecationWarning`)."""
+    simulator = FaultSimulator(circuit, fault_list, settings)
+    if workers is None:
+        return simulator.run(checkpoint=checkpoint, executor=executor)
+    return simulator.run(workers=workers, checkpoint=checkpoint,
+                         executor=executor)

@@ -11,7 +11,12 @@ the daemon's request handler is a three-line loop.
 This module owns the two serialisation problems the protocol has:
 
 * **campaign identity** — a submitted campaign travels as ``(netlist text,
-  LIFT fault-list text, settings dict)``.  :func:`settings_to_wire` /
+  LIFT fault-list text, settings dict)``.  The fault-list text is the
+  byte-faithful ``FaultList.dumps()`` serialisation, so per-fault defect
+  weights (the ``* meta weight.<id>`` lines of generated fault lists) and
+  the ``faultgen_*`` provenance metadata cross the wire untouched —
+  remote workers compute the same weighted coverage and the same
+  fingerprint as a local run.  :func:`settings_to_wire` /
   :func:`settings_from_wire` round-trip a
   :class:`~repro.anafault.simulator.CampaignSettings` (including its nested
   tolerance/fault-model/simulator/timestep dataclasses) through plain JSON

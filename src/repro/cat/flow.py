@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..anafault import CampaignResult, CampaignSettings, FaultSimulator
+from ..anafault import (CampaignResult, CampaignSettings, FaultSimulator,
+                        PoolExecutor)
 from ..defects import DefectSizeDistribution, DefectStatistics
 from ..extract import ExtractionResult, LVSReport, compare, extract_netlist
 from ..layout import Layout
@@ -115,5 +116,8 @@ class CATFlow:
         if fault_limit is not None:
             faults = faults.top(fault_limit)
         simulator = FaultSimulator(self.schematic, faults, self.options.campaign)
-        result.campaign = simulator.run(workers=workers)
+        # None keeps the defaultable serial path (REPRO_FORCE_BATCHED and
+        # friends) instead of pinning an explicit SerialExecutor.
+        executor = PoolExecutor(workers) if workers > 1 else None
+        result.campaign = simulator.run(executor=executor)
         return result

@@ -116,6 +116,46 @@ class SpotDefectSampler:
         return result
 
     # ------------------------------------------------------------------
+    def classify(self, defect: SpotDefect) -> SpotDefectOutcome:
+        """Classify one (possibly hand-constructed) defect.
+
+        The public entry the defect-driven fault generator
+        (:mod:`repro.anafault.faultgen`) uses to ask "what would this
+        spot do?" without running a whole :meth:`sample` campaign.
+        """
+        return self._classify(defect)
+
+    def monte_carlo_bridge_area(self, a: Rect, b: Rect,
+                                samples: int = 256) -> float:
+        """Monte-Carlo estimate of the size-weighted bridge critical area
+        ``E[A_c]`` [um^2] for two conductors with *irregular* facing
+        geometry (diagonal neighbours, where the parallel-wire expression
+        of :func:`repro.defects.weighted_bridge_area` does not apply).
+
+        Defect diameters are drawn from the size distribution and centres
+        uniformly over the pair's neighbourhood (the union bounding box
+        grown by half the maximum defect size); a draw is a hit when the
+        defect square touches both rectangles — the same touch predicate
+        :meth:`classify` applies to sampled defects.  The estimate is the
+        neighbourhood area times the hit fraction, which converges to the
+        exact size-weighted critical area.
+        """
+        if samples <= 0:
+            return 0.0
+        window = a.union_bbox(b).expanded(self.distribution.max_size / 2.0)
+        xs = self.rng.uniform(window.x1, window.x2, size=samples)
+        ys = self.rng.uniform(window.y1, window.y2, size=samples)
+        radius = self.distribution.sample(self.rng, samples) / 2.0
+
+        def touches(rect: Rect) -> np.ndarray:
+            # Vectorised Rect.touches of the defect squares against rect.
+            return ((xs - radius <= rect.x2) & (xs + radius >= rect.x1)
+                    & (ys - radius <= rect.y2) & (ys + radius >= rect.y1))
+
+        hits = int(np.count_nonzero(touches(a) & touches(b)))
+        return window.area * hits / samples
+
+    # ------------------------------------------------------------------
     def _classify(self, defect: SpotDefect) -> SpotDefectOutcome:
         pieces = [p for p in self.connectivity.pieces
                   if p.layer.name == defect.layer

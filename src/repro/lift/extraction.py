@@ -20,6 +20,7 @@ interface to AnaFAULT.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 import networkx as nx
 
@@ -32,13 +33,20 @@ from ..defects import (
     weighted_open_area,
 )
 from ..errors import ExtractionError
+from ..extract.connectivity import ConnectivityResult
 from ..extract.lvs import LVSReport, compare
 from ..extract.netlist import ExtractionResult
 from ..layout.layers import CONTACT, METAL1, NDIFF, PDIFF, POLY, VIA
-from ..layout.layout import Layout
+from ..layout.layout import Layout, Shape
 from ..spice import Capacitor, Circuit, CurrentSource, Mosfet, VoltageSource
 from .faultlist import FaultList
-from .faults import BridgingFault, OpenFault, SplitNodeFault, StuckOpenFault
+from .faults import (
+    BridgingFault,
+    Fault,
+    OpenFault,
+    SplitNodeFault,
+    StuckOpenFault,
+)
 
 
 @dataclass
@@ -65,6 +73,220 @@ class _Anchor:
     net: str
 
 
+class AnchorMap:
+    """Map layout pieces to the device terminals of a target circuit.
+
+    The one anchor-building pass both fault producers share: GLRFM
+    (:class:`FaultExtractor`, mapping extracted device names to schematic
+    ones through the LVS ``device_map``) and the defect-driven generator
+    (:class:`repro.anafault.faultgen.FaultGenerator`, which targets the
+    extracted circuit itself with the identity map).  ``device_map`` maps
+    extracted device names to target-circuit names; ``None`` is the
+    identity (the target *is* the extracted circuit).
+    """
+
+    def __init__(self, layout: Layout, extraction: ExtractionResult,
+                 circuit: Circuit,
+                 device_map: dict[str, str] | None = None) -> None:
+        self.layout = layout
+        self.extraction = extraction
+        self.circuit = circuit
+        self.device_map = device_map
+        #: piece index -> terminals anchored on that piece.
+        self.anchors: dict[int, list[_Anchor]] = {}
+        #: (device lower, terminal) -> net, for topology lookups.
+        self.device_terminal_net: dict[tuple[str, str], str] = {}
+        #: Diagnostics (devices without a target-circuit match).
+        self.messages: list[str] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _target_name(self, extracted_name: str) -> str | None:
+        if self.device_map is None:
+            return extracted_name
+        return self.device_map.get(extracted_name)
+
+    def _build(self) -> None:
+        connectivity = self.extraction.connectivity
+        channels = connectivity.channels
+        mosfets = self.extraction.mosfets
+        if len(channels) != len(mosfets):
+            raise ExtractionError("channel/device bookkeeping mismatch")
+
+        for channel, extracted in zip(channels, mosfets):
+            target_name = self._target_name(extracted.name)
+            if target_name is None:
+                self.messages.append(
+                    f"extracted device {extracted.name} has no schematic "
+                    "match; its terminal opens are skipped")
+                continue
+            device = self.circuit.device(target_name)
+            drain_net, gate_net, source_net, _bulk = device.nodes
+
+            # Gate anchor: the poly piece over the channel.
+            for piece in connectivity.pieces:
+                if piece.layer == POLY and piece.rect.touches(channel.rect):
+                    self.add(piece.index, target_name, "gate", gate_net)
+                    break
+            # Source/drain anchors: diffusion islands of the parent shape.
+            assigned: set[str] = set()
+            for piece in connectivity.pieces:
+                if piece.layer != channel.diffusion_layer:
+                    continue
+                if piece.source_shape is not channel.diffusion_shape:
+                    continue
+                if not piece.rect.touches(channel.rect):
+                    continue
+                net = connectivity.piece_net[piece.index]
+                if net == drain_net and "drain" not in assigned:
+                    terminal = "drain"
+                elif net == source_net and "source" not in assigned:
+                    terminal = "source"
+                elif "drain" not in assigned:
+                    terminal = "drain"
+                elif "source" not in assigned:
+                    terminal = "source"
+                else:
+                    continue
+                assigned.add(terminal)
+                self.add(piece.index, target_name, terminal, net)
+
+        self._anchor_capacitors()
+        self._anchor_ports()
+
+    def _anchor_capacitors(self) -> None:
+        connectivity = self.extraction.connectivity
+        for extracted in self.extraction.capacitors:
+            target_name = self._target_name(extracted.name)
+            if target_name is None:
+                continue
+            device = self.circuit.device(target_name)
+            pos_net, neg_net = device.nodes
+            # Anchor the plates: largest metal piece on the top net and
+            # largest poly piece on the bottom net.
+            best: dict[str, tuple[float, int]] = {}
+            for piece in connectivity.pieces:
+                net = connectivity.piece_net[piece.index]
+                if piece.layer == METAL1 and net == extracted.top_net:
+                    key = "top"
+                elif piece.layer == POLY and net == extracted.bottom_net:
+                    key = "bottom"
+                else:
+                    continue
+                if key not in best or piece.rect.area > best[key][0]:
+                    best[key] = (piece.rect.area, piece.index)
+            terminal_for_net = {pos_net: "pos", neg_net: "neg"}
+            if "top" in best:
+                self.add(best["top"][1], target_name,
+                         terminal_for_net.get(extracted.top_net, "pos"),
+                         extracted.top_net)
+            if "bottom" in best:
+                self.add(best["bottom"][1], target_name,
+                         terminal_for_net.get(extracted.bottom_net, "neg"),
+                         extracted.bottom_net)
+
+    def _anchor_ports(self) -> None:
+        """Anchor the terminals of independent sources at the net labels."""
+        connectivity = self.extraction.connectivity
+        for device in self.circuit.devices:
+            if not isinstance(device, (VoltageSource, CurrentSource)):
+                continue
+            for terminal, net in zip(("pos", "neg"), device.nodes):
+                if net == "0":
+                    continue
+                for label in self.layout.labels:
+                    if label.text != net:
+                        continue
+                    for piece in connectivity.pieces:
+                        if (piece.layer == label.layer
+                                and piece.rect.contains_point(label.x, label.y)):
+                            self.add(piece.index, device.name, terminal, net)
+                            break
+                    break
+
+    def add(self, piece_index: int, device: str, terminal: str,
+            net: str) -> None:
+        self.anchors.setdefault(piece_index, []).append(
+            _Anchor(device, terminal, net))
+        self.device_terminal_net[(device.lower(), terminal)] = net
+
+    def terminals_of(self, piece_indices: Iterable[int]) -> list[_Anchor]:
+        """All terminals anchored on any of the given pieces."""
+        terminals: list[_Anchor] = []
+        for index in piece_indices:
+            terminals.extend(self.anchors.get(index, []))
+        return terminals
+
+
+def open_effect(connectivity: ConnectivityResult, anchor_map: AnchorMap,
+                circuit: Circuit, seed_piece: int,
+                removed_nodes: Sequence[int] = (),
+                removed_edges: Sequence[tuple[int, int]] = ()
+                ) -> Fault | None:
+    """Electrical effect of cutting pieces/edges out of one net.
+
+    Classifies the open by graph analysis of the net containing
+    ``seed_piece`` after removing ``removed_nodes`` (piece indices) and
+    ``removed_edges``: a disconnected terminal yields an
+    :class:`~repro.lift.faults.OpenFault` (or
+    :class:`~repro.lift.faults.StuckOpenFault` for a MOSFET drain/source),
+    a net split into several terminal groups yields a
+    :class:`~repro.lift.faults.SplitNodeFault`, and ``None`` means the cut
+    is electrically ineffective (a dangling stub).  The returned fault is
+    a *template*: ``fault_id``/``probability``/``origin_layer`` are left
+    at their defaults for the caller to fill in.
+
+    Shared by GLRFM and the defect-driven generator so both produce
+    byte-identical fault records for the same cut — exactly the property
+    the collapsing stage's equivalence classes rely on.
+    """
+    graph = connectivity.graph
+    net = connectivity.piece_net.get(seed_piece)
+    if net is None:
+        return None
+    net_nodes = [p.index for p in connectivity.pieces
+                 if connectivity.piece_net[p.index] == net]
+    subgraph = graph.subgraph(net_nodes).copy()
+    isolated_terminals = anchor_map.terminals_of(removed_nodes)
+    subgraph.remove_nodes_from(removed_nodes)
+    subgraph.remove_edges_from(removed_edges)
+
+    components = list(nx.connected_components(subgraph)) or [set()]
+    groups = [anchor_map.terminals_of(component) for component in components]
+    groups = [g for g in groups if g]
+
+    if isolated_terminals:
+        # The cut piece itself carried a terminal: that terminal is
+        # disconnected from everything else on the net.
+        return _terminal_open_template(circuit, isolated_terminals[0])
+    if len(groups) <= 1:
+        return None
+    # Net splits into two (or more) groups: use the smallest group as the
+    # split-off side.
+    groups.sort(key=len)
+    small = groups[0]
+    if len(small) == 1:
+        return _terminal_open_template(circuit, small[0])
+    group_b = tuple((a.device, a.terminal) for a in small)
+    return SplitNodeFault(0, description=f"open splits net {net}",
+                          net=net, group_b=group_b)
+
+
+def _terminal_open_template(circuit: Circuit, anchor: _Anchor) -> Fault:
+    """Open/stuck-open fault template for one disconnected terminal."""
+    device = None
+    if anchor.device.lower() in {d.name.lower() for d in circuit.devices}:
+        device = circuit.device(anchor.device)
+    if isinstance(device, Mosfet) and anchor.terminal in ("drain", "source"):
+        return StuckOpenFault(0,
+                              description=(f"{anchor.device} {anchor.terminal} "
+                                           "disconnected"),
+                              device=anchor.device, terminal=anchor.terminal)
+    return OpenFault(0,
+                     description=f"open at {anchor.device}.{anchor.terminal}",
+                     device=anchor.device, terminal=anchor.terminal)
+
+
 @dataclass
 class FaultExtractionReport:
     """Diagnostics of one GLRFM run."""
@@ -84,7 +306,7 @@ class FaultExtractor:
                  schematic: Circuit, lvs: LVSReport | None = None,
                  statistics: DefectStatistics | None = None,
                  distribution: DefectSizeDistribution | None = None,
-                 options: FaultExtractionOptions | None = None):
+                 options: FaultExtractionOptions | None = None) -> None:
         self.layout = layout
         self.extraction = extraction
         self.schematic = schematic
@@ -93,6 +315,7 @@ class FaultExtractor:
         self.distribution = distribution or DefectSizeDistribution()
         self.options = options or FaultExtractionOptions()
         self.report = FaultExtractionReport()
+        self._anchor_map: AnchorMap | None = None
         self._anchors: dict[int, list[_Anchor]] = {}
         self._device_terminal_net: dict[tuple[str, str], str] = {}
 
@@ -128,113 +351,13 @@ class FaultExtractor:
     # ------------------------------------------------------------------
     # Anchors: map layout pieces to schematic device terminals
     # ------------------------------------------------------------------
-    def _schematic_name(self, extracted_name: str) -> str | None:
-        return self.lvs.device_map.get(extracted_name)
-
     def _build_anchors(self) -> None:
-        connectivity = self.extraction.connectivity
-        channels = connectivity.channels
-        mosfets = self.extraction.mosfets
-        if len(channels) != len(mosfets):
-            raise ExtractionError("channel/device bookkeeping mismatch")
-
-        for channel, extracted in zip(channels, mosfets):
-            schematic_name = self._schematic_name(extracted.name)
-            if schematic_name is None:
-                self.report.messages.append(
-                    f"extracted device {extracted.name} has no schematic match; "
-                    "its terminal opens are skipped")
-                continue
-            device = self.schematic.device(schematic_name)
-            drain_net, gate_net, source_net, _bulk = device.nodes
-
-            # Gate anchor: the poly piece over the channel.
-            for piece in connectivity.pieces:
-                if piece.layer == POLY and piece.rect.touches(channel.rect):
-                    self._add_anchor(piece.index, schematic_name, "gate", gate_net)
-                    break
-            # Source/drain anchors: diffusion islands of the parent shape.
-            assigned: set[str] = set()
-            for piece in connectivity.pieces:
-                if piece.layer != channel.diffusion_layer:
-                    continue
-                if piece.source_shape is not channel.diffusion_shape:
-                    continue
-                if not piece.rect.touches(channel.rect):
-                    continue
-                net = connectivity.piece_net[piece.index]
-                if net == drain_net and "drain" not in assigned:
-                    terminal = "drain"
-                elif net == source_net and "source" not in assigned:
-                    terminal = "source"
-                elif "drain" not in assigned:
-                    terminal = "drain"
-                elif "source" not in assigned:
-                    terminal = "source"
-                else:
-                    continue
-                assigned.add(terminal)
-                self._add_anchor(piece.index, schematic_name, terminal, net)
-
-        self._anchor_capacitors()
-        self._anchor_ports()
-
-    def _anchor_capacitors(self) -> None:
-        connectivity = self.extraction.connectivity
-        for extracted in self.extraction.capacitors:
-            schematic_name = self._schematic_name(extracted.name)
-            if schematic_name is None:
-                continue
-            device = self.schematic.device(schematic_name)
-            pos_net, neg_net = device.nodes
-            # Anchor the plates: largest metal piece on the top net and
-            # largest poly piece on the bottom net.
-            best: dict[str, tuple[float, int]] = {}
-            for piece in connectivity.pieces:
-                net = connectivity.piece_net[piece.index]
-                if piece.layer == METAL1 and net == extracted.top_net:
-                    key = "top"
-                elif piece.layer == POLY and net == extracted.bottom_net:
-                    key = "bottom"
-                else:
-                    continue
-                if key not in best or piece.rect.area > best[key][0]:
-                    best[key] = (piece.rect.area, piece.index)
-            terminal_for_net = {pos_net: "pos", neg_net: "neg"}
-            if "top" in best:
-                self._add_anchor(best["top"][1], schematic_name,
-                                 terminal_for_net.get(extracted.top_net, "pos"),
-                                 extracted.top_net)
-            if "bottom" in best:
-                self._add_anchor(best["bottom"][1], schematic_name,
-                                 terminal_for_net.get(extracted.bottom_net, "neg"),
-                                 extracted.bottom_net)
-
-    def _anchor_ports(self) -> None:
-        """Anchor the terminals of independent sources at the net labels."""
-        connectivity = self.extraction.connectivity
-        for device in self.schematic.devices:
-            if not isinstance(device, (VoltageSource, CurrentSource)):
-                continue
-            for terminal, net in zip(("pos", "neg"), device.nodes):
-                if net == "0":
-                    continue
-                for label in self.layout.labels:
-                    if label.text != net:
-                        continue
-                    for piece in connectivity.pieces:
-                        if (piece.layer == label.layer
-                                and piece.rect.contains_point(label.x, label.y)):
-                            self._add_anchor(piece.index, device.name, terminal,
-                                             net)
-                            break
-                    break
-
-    def _add_anchor(self, piece_index: int, device: str, terminal: str,
-                    net: str) -> None:
-        self._anchors.setdefault(piece_index, []).append(
-            _Anchor(device, terminal, net))
-        self._device_terminal_net[(device.lower(), terminal)] = net
+        self._anchor_map = AnchorMap(self.layout, self.extraction,
+                                     self.schematic,
+                                     device_map=self.lvs.device_map)
+        self._anchors = self._anchor_map.anchors
+        self._device_terminal_net = self._anchor_map.device_terminal_net
+        self.report.messages.extend(self._anchor_map.messages)
 
     # ------------------------------------------------------------------
     # Bridges
@@ -327,7 +450,7 @@ class FaultExtractor:
             next_id += 1
         return faults
 
-    def _cut_mechanism(self, cut_shape, cut_layer_name: str) -> str:
+    def _cut_mechanism(self, cut_shape: Shape, cut_layer_name: str) -> str:
         if cut_layer_name == VIA.name:
             return "via"
         # Contact: look at what lies underneath.
@@ -346,7 +469,7 @@ class FaultExtractor:
 
         # Group graph edges by the cut shape that creates them.
         edges_by_cut: dict[int, list[tuple[int, int]]] = {}
-        cut_shape_by_id: dict[int, object] = {}
+        cut_shape_by_id: dict[int, Shape] = {}
         cut_layer_by_id: dict[int, str] = {}
         for u, v, data in graph.edges(data=True):
             cut = data.get("cut")
@@ -376,74 +499,29 @@ class FaultExtractor:
         return faults
 
     # ------------------------------------------------------------------
-    def _terminals_of(self, piece_indices) -> list[_Anchor]:
-        terminals: list[_Anchor] = []
-        for index in piece_indices:
-            terminals.extend(self._anchors.get(index, []))
-        return terminals
-
     def _open_effect(self, seed_piece: int, probability: float,
-                     layer_name: str, removed_nodes, removed_edges,
-                     fault_id: int):
+                     layer_name: str, removed_nodes: Sequence[int],
+                     removed_edges: Sequence[tuple[int, int]],
+                     fault_id: int) -> Fault | None:
         """Classify the electrical effect of removing nodes/edges around the
-        net containing ``seed_piece``."""
-        connectivity = self.extraction.connectivity
-        graph = connectivity.graph
-        net = connectivity.piece_net.get(seed_piece)
-        if net is None:
-            return None
-        net_nodes = [p.index for p in connectivity.pieces
-                     if connectivity.piece_net[p.index] == net]
-        subgraph = graph.subgraph(net_nodes).copy()
-        isolated_terminals = self._terminals_of(removed_nodes)
-        subgraph.remove_nodes_from(removed_nodes)
-        subgraph.remove_edges_from(removed_edges)
-
-        components = list(nx.connected_components(subgraph)) or [set()]
-        groups = [self._terminals_of(component) for component in components]
-        groups = [g for g in groups if g]
-
-        if isolated_terminals:
-            # The cut piece itself carried a terminal: that terminal is
-            # disconnected from everything else on the net.
-            return self._terminal_open_fault(isolated_terminals[0], probability,
-                                             layer_name, fault_id)
-        if len(groups) <= 1:
+        net containing ``seed_piece`` (see :func:`open_effect`)."""
+        anchor_map = self._anchor_map
+        if anchor_map is None:
+            raise ExtractionError("anchors not built; call run()")
+        fault = open_effect(self.extraction.connectivity, anchor_map,
+                            self.schematic, seed_piece,
+                            removed_nodes=removed_nodes,
+                            removed_edges=removed_edges)
+        if fault is None:
             self.report.ineffective_opens += 1
-            if not self.options.keep_ineffective_opens:
-                return None
             return None
-        # Net splits into two (or more) groups: use the smallest group as the
-        # split-off side.
-        groups.sort(key=len)
-        small = groups[0]
-        if len(small) == 1:
-            return self._terminal_open_fault(small[0], probability, layer_name,
-                                             fault_id)
-        group_b = tuple((a.device, a.terminal) for a in small)
-        return SplitNodeFault(fault_id, probability=probability,
-                              origin_layer=layer_name,
-                              description=f"open splits net {net}",
-                              net=net, group_b=group_b)
-
-    def _terminal_open_fault(self, anchor: _Anchor, probability: float,
-                             layer_name: str, fault_id: int):
-        device = None
-        if anchor.device.lower() in {d.name.lower() for d in self.schematic.devices}:
-            device = self.schematic.device(anchor.device)
-        if isinstance(device, Mosfet) and anchor.terminal in ("drain", "source"):
-            return StuckOpenFault(fault_id, probability=probability,
-                                  origin_layer=layer_name,
-                                  description=(f"{anchor.device} {anchor.terminal} "
-                                               "disconnected"),
-                                  device=anchor.device, terminal=anchor.terminal)
-        return OpenFault(fault_id, probability=probability,
-                         origin_layer=layer_name,
-                         description=f"open at {anchor.device}.{anchor.terminal}",
-                         device=anchor.device, terminal=anchor.terminal)
+        fault.fault_id = fault_id
+        fault.probability = probability
+        fault.origin_layer = layer_name
+        return fault
 
 
 def extract_faults(layout: Layout, extraction: ExtractionResult,
-                   schematic: Circuit, **kwargs) -> FaultList:
+                   schematic: Circuit, **kwargs: Any) -> FaultList:
     """Convenience wrapper: run GLRFM with default settings."""
     return FaultExtractor(layout, extraction, schematic, **kwargs).run()

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import re
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Union
 
 from ..errors import FaultError
 from .faults import (
@@ -20,6 +22,16 @@ from .faults import (
 #: reads back (round-trip fidelity keys the campaign fingerprint).
 _HEADER_PREFIX = "* LIFT realistic fault list: "
 _META_PREFIX = "* meta "
+#: Reserved metadata-key prefix carrying per-fault weights: a line
+#: ``* meta weight.<fault_id>=<float>`` sets :attr:`Fault.weight` of the
+#: matching fault.  Weight lines whose id matches no fault (or whose value
+#: is not a float) stay in :attr:`FaultList.metadata` verbatim — the round
+#: trip keeps them byte-faithful and ``repro.anafault lint`` flags them
+#: (``unknown-meta``) instead of silently dropping them.
+WEIGHT_META_PREFIX = "weight."
+
+#: Anything ``open()`` accepts for the dump/load convenience methods.
+StrPath = Union[str, "os.PathLike[str]"]
 
 
 @dataclass
@@ -57,6 +69,39 @@ class FaultList:
         return [f for f in self.faults if f.kind == kind]
 
     # ------------------------------------------------------------------
+    # Programmatic construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_faults(cls, faults: Iterable[Fault], name: str = "fault list",
+                    metadata: dict[str, object] | None = None,
+                    renumber: bool = False) -> "FaultList":
+        """Build a list from fault objects with id hygiene up front.
+
+        The campaign engine keys checkpoints, shard merges and verdict
+        maps by fault id, so duplicate ids corrupt bookkeeping silently.
+        This builder refuses them at construction time
+        (:class:`~repro.errors.FaultError`) — or reassigns sequential ids
+        ``1..n`` in input order when ``renumber`` is set (generated fault
+        universes use this after collapsing).  The fault objects are
+        taken as-is, not copied.
+        """
+        fault_list = cls(name, list(faults),
+                         dict(metadata) if metadata else {})
+        if renumber:
+            for index, fault in enumerate(fault_list.faults, start=1):
+                fault.fault_id = index
+            return fault_list
+        seen: dict[int, Fault] = {}
+        for fault in fault_list.faults:
+            previous = seen.setdefault(fault.fault_id, fault)
+            if previous is not fault:
+                raise FaultError(
+                    f"duplicate fault id {fault.fault_id} "
+                    f"({previous.kind} vs {fault.kind}); pass "
+                    "renumber=True or assign unique ids")
+        return fault_list
+
+    # ------------------------------------------------------------------
     # Ranking and reduction
     # ------------------------------------------------------------------
     def sorted_by_probability(self) -> "FaultList":
@@ -86,6 +131,12 @@ class FaultList:
             if key in merged:
                 existing = merged[key]
                 existing.probability += fault.probability
+                if existing.weight is not None or fault.weight is not None:
+                    # Explicit weights aggregate like probabilities; a
+                    # one-sided weight treats the unweighted side as 0 so
+                    # the merge never invents weight from probability.
+                    existing.weight = ((existing.weight or 0.0)
+                                       + (fault.weight or 0.0))
                 existing.origins.extend(fault.origins)
                 existing.fault_id = min(existing.fault_id, fault.fault_id)
             else:
@@ -97,6 +148,12 @@ class FaultList:
     # ------------------------------------------------------------------
     def total_probability(self) -> float:
         return sum(f.probability for f in self.faults)
+
+    def total_weight(self) -> float:
+        """Sum of the per-fault :attr:`Fault.effective_weight` — the
+        normalising constant of weighted coverage and of the
+        importance sampler (:mod:`repro.anafault.faultgen`)."""
+        return sum(f.effective_weight for f in self.faults)
 
     def count_by_kind(self) -> Counter:
         return Counter(f.kind for f in self.faults)
@@ -118,13 +175,21 @@ class FaultList:
     # ------------------------------------------------------------------
     def dumps(self) -> str:
         lines = [f"{_HEADER_PREFIX}{self.name}"]
-        for key, value in sorted(self.metadata.items()):
+        entries: dict[str, object] = dict(self.metadata)
+        for fault in self.faults:
+            if fault.weight is not None:
+                # repr(float) round-trips exactly, so
+                # loads(dumps()).dumps() stays byte-identical (the
+                # fidelity the campaign fingerprint relies on).
+                entries[f"{WEIGHT_META_PREFIX}{fault.fault_id}"] = repr(
+                    float(fault.weight))
+        for key, value in sorted(entries.items()):
             lines.append(f"{_META_PREFIX}{key}={value}")
         for fault in self.faults:
             lines.append(_fault_to_record(fault))
         return "\n".join(lines) + "\n"
 
-    def dump(self, path) -> None:
+    def dump(self, path: StrPath) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.dumps())
 
@@ -139,6 +204,12 @@ class FaultList:
         ends of the wire must derive the same identity from the same
         text).  An explicit ``name`` still wins over the embedded one
         (the CLI pins it for content-only checkpoint identity).
+
+        ``* meta weight.<fault_id>=<float>`` lines set
+        :attr:`Fault.weight` on the matching faults; weight lines that
+        bind to no fault (unknown id, non-float value) are *kept* in
+        :attr:`metadata` — the round trip re-emits them unchanged and
+        the ``unknown-meta`` lint rule reports them.
         """
         fault_list = cls(name if name is not None else "fault list")
         for line_number, raw in enumerate(text.splitlines(), start=1):
@@ -160,10 +231,36 @@ class FaultList:
                 raise FaultError(
                     f"bad fault record on line {line_number}: {raw!r} ({exc})"
                     ) from exc
+        fault_list._bind_weight_metadata()
         return fault_list
 
+    def _bind_weight_metadata(self) -> None:
+        """Move ``weight.<id>`` metadata entries onto the matching faults.
+
+        Entries that fail to bind stay in :attr:`metadata` so
+        :meth:`dumps` reproduces them byte-for-byte and the lint rule can
+        point at them.
+        """
+        by_id: dict[int, list[Fault]] = {}
+        for fault in self.faults:
+            by_id.setdefault(fault.fault_id, []).append(fault)
+        for key in [k for k in self.metadata
+                    if k.startswith(WEIGHT_META_PREFIX)]:
+            suffix = key[len(WEIGHT_META_PREFIX):]
+            try:
+                fault_id = int(suffix)
+                weight = float(str(self.metadata[key]))
+            except ValueError:
+                continue  # malformed; kept for the round trip + lint
+            targets = by_id.get(fault_id)
+            if not targets:
+                continue  # orphan id; kept for the round trip + lint
+            for fault in targets:
+                fault.weight = weight
+            del self.metadata[key]
+
     @classmethod
-    def load(cls, path) -> "FaultList":
+    def load(cls, path: StrPath) -> "FaultList":
         with open(path, "r", encoding="utf-8") as handle:
             return cls.loads(handle.read(), name=str(path))
 
@@ -209,6 +306,15 @@ def _parse_fields(tokens: list[str]) -> dict[str, str]:
 
 
 def _fault_from_record(line: str) -> Fault:
+    # The desc field is quoted and may contain spaces; pull it out before
+    # splitting on whitespace (the naive split used to truncate
+    # multi-word descriptions to their first word, breaking the
+    # byte-faithful round trip for every GLRFM/faultgen list).
+    description = ""
+    match = re.search(r'\s+desc="([^"]*)"', line)
+    if match:
+        description = match.group(1)
+        line = line[:match.start()] + line[match.end():]
     tokens = line.split()
     if len(tokens) < 3 or tokens[0].upper() != "FAULT":
         raise FaultError(f"not a FAULT record: {line!r}")
@@ -217,7 +323,7 @@ def _fault_from_record(line: str) -> Fault:
     fields = _parse_fields(tokens[3:])
     probability = float(fields.get("p", 0.0))
     layer = fields.get("layer", "")
-    description = fields.get("desc", "")
+    description = fields.get("desc", description)
 
     if kind == "bridge":
         net_a, net_b = fields["nets"].split(",")
@@ -228,10 +334,13 @@ def _fault_from_record(line: str) -> Fault:
         return OpenFault(fault_id, probability, layer, description,
                          device=fields["device"], terminal=fields["terminal"])
     if kind == "split":
-        group = tuple(tuple(item.split(".", 1)) for item in
-                      fields["group"].split(";") if item)
+        group: list[tuple[str, str]] = []
+        for item in fields["group"].split(";"):
+            if item:
+                device, _, terminal = item.partition(".")
+                group.append((device, terminal))
         return SplitNodeFault(fault_id, probability, layer, description,
-                              net=fields["net"], group_b=group)
+                              net=fields["net"], group_b=tuple(group))
     if kind == "stuck_open":
         return StuckOpenFault(fault_id, probability, layer, description,
                               device=fields["device"],

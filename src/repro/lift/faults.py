@@ -54,6 +54,14 @@ class Fault:
     description: str = ""
     #: Free-form provenance records (e.g. contributing layout shape pairs).
     origins: list[str] = field(default_factory=list)
+    #: Optional first-class defect weight (aggregated failure probability of
+    #: the whole equivalence class a generated fault represents, see
+    #: :mod:`repro.anafault.faultgen`).  ``None`` means "no explicit weight";
+    #: consumers fall back to :attr:`probability` via
+    #: :attr:`effective_weight`.  Serialised as a ``* meta weight.<id>=…``
+    #: line of the LIFT interchange format, so hand-written lists without
+    #: weights round-trip byte-identically.
+    weight: float | None = None
 
     KIND = "fault"
 
@@ -65,6 +73,13 @@ class Fault:
     def category(self) -> str:
         """Fig. 2 category used in result summaries."""
         return self.KIND
+
+    @property
+    def effective_weight(self) -> float:
+        """The weight coverage aggregation uses: the explicit
+        :attr:`weight` when set, the occurrence :attr:`probability`
+        otherwise."""
+        return self.probability if self.weight is None else self.weight
 
     def signature(self) -> tuple:
         """Electrical identity used for merging equivalent faults."""
@@ -88,7 +103,7 @@ class BridgingFault(Fault):
 
     KIND = "bridge"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.net_a == self.net_b:
             raise FaultError("bridging fault needs two distinct nets")
         # Canonical order for merging.
@@ -140,7 +155,7 @@ class SplitNodeFault(Fault):
 
     KIND = "split"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.group_b:
             raise FaultError("split-node fault needs a non-empty group")
         self.group_b = tuple(sorted((d.lower(), t.lower())

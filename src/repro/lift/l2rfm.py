@@ -19,6 +19,8 @@ source/drain pads, so that
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..defects import (
     DefectSizeDistribution,
     DefectStatistics,
@@ -30,7 +32,7 @@ from ..defects import (
 from ..layout.technology import Technology, default_technology
 from ..spice import Capacitor, Circuit, Mosfet
 from .faultlist import FaultList
-from .faults import BridgingFault, OpenFault
+from .faults import BridgingFault, Fault, OpenFault
 from .schematic_faults import schematic_fault_list
 
 
@@ -41,7 +43,7 @@ class L2RFMReducer:
                  statistics: DefectStatistics | None = None,
                  distribution: DefectSizeDistribution | None = None,
                  technology: Technology | None = None,
-                 min_probability: float = 1e-10):
+                 min_probability: float = 1e-10) -> None:
         self.circuit = circuit
         self.statistics = statistics or DefectStatistics.table_1()
         self.distribution = distribution or DefectSizeDistribution()
@@ -62,14 +64,14 @@ class L2RFMReducer:
         return reduced.sorted_by_probability()
 
     # ------------------------------------------------------------------
-    def _estimate(self, fault) -> float:
+    def _estimate(self, fault: Fault) -> float:
         if isinstance(fault, BridgingFault):
             return self._estimate_short(fault)
         if isinstance(fault, OpenFault):
             return self._estimate_open(fault)
         return 0.0
 
-    def _device_of(self, fault) -> object | None:
+    def _device_of(self, fault: BridgingFault | OpenFault) -> object | None:
         if isinstance(fault, OpenFault):
             return self.circuit.device(fault.device)
         # Bridging faults from the schematic list are local to one element:
@@ -141,6 +143,6 @@ class L2RFMReducer:
         return 0.0
 
 
-def l2rfm_fault_list(circuit: Circuit, **kwargs) -> FaultList:
+def l2rfm_fault_list(circuit: Circuit, **kwargs: Any) -> FaultList:
     """Convenience wrapper around :class:`L2RFMReducer`."""
     return L2RFMReducer(circuit, **kwargs).run()

@@ -9,6 +9,7 @@ than detecting an exotic one.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from .faultlist import FaultList
 from .faults import Fault
@@ -51,7 +52,7 @@ def faults_covering_fraction(faults: FaultList, fraction: float) -> FaultList:
                      dict(faults.metadata))
 
 
-def weighted_fault_coverage(faults: FaultList, detected_ids) -> float:
+def weighted_fault_coverage(faults: FaultList, detected_ids: Iterable[int]) -> float:
     """Probability-weighted fault coverage of a set of detected fault ids."""
     detected_ids = set(detected_ids)
     total = faults.total_probability()
@@ -63,7 +64,7 @@ def weighted_fault_coverage(faults: FaultList, detected_ids) -> float:
     return covered / total
 
 
-def unweighted_fault_coverage(faults: FaultList, detected_ids) -> float:
+def unweighted_fault_coverage(faults: FaultList, detected_ids: Iterable[int]) -> float:
     """Plain fault coverage: detected / total."""
     if not len(faults):
         return 0.0

@@ -22,7 +22,8 @@ MOSFET_SHORT_PAIRS = (("gate", "source"), ("gate", "drain"), ("drain", "source")
 MOSFET_OPEN_TERMINALS = ("drain", "gate", "source")
 
 
-def _terminal_net(device, terminal: str) -> str:
+def _terminal_net(device: Mosfet | Resistor | Capacitor | Inductor,
+                  terminal: str) -> str:
     order = {"drain": 0, "gate": 1, "source": 2, "bulk": 3, "pos": 0, "neg": 1}
     return device.nodes[order[terminal]]
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ReproError
+from ..lift.faultlist import WEIGHT_META_PREFIX
 from ..lift.faults import (MOSFET_TERMINALS, TWO_TERMINALS, BridgingFault,
                            Fault, OpenFault, ParametricFault, SplitNodeFault,
                            StuckOpenFault)
@@ -38,6 +39,10 @@ class FaultListContext:
         self.circuit = circuit
         self.faults: Tuple[Fault, ...] = tuple(faults)
         self.model_options = model_options
+        # Fault-list metadata (``* meta`` lines); a bare fault iterable has
+        # none.  The ``unknown-meta`` rule inspects it.
+        self.metadata: Dict[str, object] = dict(
+            getattr(faults, "metadata", None) or {})
 
 
 def _terminal_names(device: object) -> Tuple[str, ...]:
@@ -258,11 +263,15 @@ def check_noop_fault(ctx: FaultListContext) -> Iterable[Diagnostic]:
                     fixit="bridge two electrically distinct nets")
 
 
-def _normalized_signature(fault: Fault) -> Tuple[object, ...]:
+def normalized_signature(fault: Fault) -> Tuple[object, ...]:
     """Electrical signature with net names normalised.
 
     ``Fault.signature`` compares raw net strings; ``OUT`` and ``out``
-    would not merge even though they are the same node.
+    would not merge even though they are the same node.  This is the
+    equivalence key both the ``equivalent-faults`` rule and the collapsing
+    stage of :mod:`repro.anafault.faultgen` use: two faults with the same
+    normalized signature make :class:`repro.anafault.FaultInjector` build
+    the identical faulty circuit.
     """
     def norm(net: str) -> str:
         try:
@@ -289,7 +298,7 @@ def check_equivalent_faults(ctx: FaultListContext) -> Iterable[Diagnostic]:
     """
     groups: Dict[Tuple[object, ...], List[Fault]] = {}
     for fault in ctx.faults:
-        groups.setdefault(_normalized_signature(fault), []).append(fault)
+        groups.setdefault(normalized_signature(fault), []).append(fault)
     for signature in sorted(groups, key=repr):
         faults = groups[signature]
         if len(faults) < 2:
@@ -302,6 +311,43 @@ def check_equivalent_faults(ctx: FaultListContext) -> Iterable[Diagnostic]:
                      f"{signature!r}; simulating all of them repeats "
                      "identical transients"),
             fixit="collapse them with FaultList.merge_equivalent()")
+
+
+@register_rule("unknown-meta", FAMILY_FAULTLIST, SEVERITY_WARNING,
+               "a weight meta line did not bind to any fault")
+def check_unknown_meta(ctx: FaultListContext) -> Iterable[Diagnostic]:
+    """Flag ``* meta weight.<id>`` lines that bound to no fault.
+
+    ``FaultList.loads`` attaches each well-formed weight meta line to the
+    fault with the matching id and leaves orphans (ids absent from the
+    list) and malformed entries (non-integer id, non-float value) in the
+    raw metadata so the file round-trips byte-faithfully.  Anything with
+    the weight prefix still sitting in the metadata is therefore a weight
+    the campaign silently ignores.
+    """
+    known_ids = {fault.fault_id for fault in ctx.faults}
+    for key in sorted(ctx.metadata):
+        if not key.startswith(WEIGHT_META_PREFIX):
+            continue
+        suffix = key[len(WEIGHT_META_PREFIX):]
+        value = ctx.metadata[key]
+        try:
+            fault_id: Optional[int] = int(suffix)
+        except ValueError:
+            fault_id = None
+        if fault_id is None:
+            detail = f"{suffix!r} is not a fault id"
+        elif fault_id not in known_ids:
+            detail = f"no fault has id {fault_id}"
+        else:
+            detail = f"value {value!r} is not a number"
+        yield Diagnostic(
+            code="unknown-meta", severity=SEVERITY_WARNING,
+            location=f"meta {key}",
+            message=(f"weight meta line {key}={value} binds to no fault "
+                     f"({detail}); the weight is ignored by coverage "
+                     "aggregation"),
+            fixit="fix the fault id/value or delete the meta line")
 
 
 @register_rule("fault-topology", FAMILY_FAULTLIST, SEVERITY_ERROR,

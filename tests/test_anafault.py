@@ -8,7 +8,9 @@ from repro.anafault import (
     FaultCoverage,
     FaultModelOptions,
     FaultSimulator,
+    PoolExecutor,
     STATUS_DETECTED,
+    SerialExecutor,
     ToleranceSettings,
     WaveformComparator,
     coverage_plot,
@@ -404,7 +406,7 @@ class TestCampaignSmall:
 
     def test_parallel_matches_serial(self, rc_circuit):
         serial = FaultSimulator(rc_circuit, self._fault_list(),
-                                self._settings()).run(workers=1)
+                                self._settings()).run(executor=SerialExecutor())
         parallel = FaultSimulator(rc_circuit, self._fault_list(),
-                                  self._settings()).run(workers=2)
+                                  self._settings()).run(executor=PoolExecutor(2))
         assert serial.detected_ids() == parallel.detected_ids()

@@ -8,7 +8,8 @@ bypass, the clamped transient print grid and the batched campaign layer.
 import numpy as np
 import pytest
 
-from repro.anafault import CampaignSettings, FaultSimulator, ToleranceSettings
+from repro.anafault import (CampaignSettings, FaultSimulator, PoolExecutor,
+                            SerialExecutor, ToleranceSettings)
 from repro.anafault.parallel import campaign_chunksize
 from repro.anafault.simulator import FaultSimulationRecord
 from repro.circuits import build_rc_lowpass, build_vco
@@ -170,9 +171,9 @@ class TestCampaignLayer:
 
     def test_serial_and_parallel_records_equivalent(self, rc_circuit):
         serial = FaultSimulator(rc_circuit, self._fault_list(),
-                                self._settings()).run(workers=1)
+                                self._settings()).run(executor=SerialExecutor())
         parallel = FaultSimulator(rc_circuit, self._fault_list(),
-                                  self._settings()).run(workers=2)
+                                  self._settings()).run(executor=PoolExecutor(2))
         # Same faults in the same order with the same verdicts.
         assert ([r.fault.fault_id for r in serial.records]
                 == [r.fault.fault_id for r in parallel.records])

@@ -134,6 +134,87 @@ class TestFaultList:
             FaultList.loads("FAULT 1 BOGUS p=1e-9\n")
 
 
+class TestWeightsAndInterchange:
+    def test_weight_meta_round_trip(self):
+        faults = FaultList.from_faults(
+            [BridgingFault(1, probability=1e-6, weight=2.5e-7,
+                           net_a="a", net_b="b"),
+             OpenFault(2, probability=3e-7, device="M1", terminal="gate")],
+            name="weighted")
+        text = faults.dumps()
+        assert "* meta weight.1=2.5e-07" in text
+        assert "weight.2" not in text
+        loaded = FaultList.loads(text)
+        assert loaded[0].weight == pytest.approx(2.5e-7)
+        assert loaded[1].weight is None
+        assert loaded.dumps() == text
+
+    def test_orphan_and_malformed_weight_metas_survive(self):
+        faults = FaultList.from_faults(
+            [BridgingFault(1, probability=1e-6, net_a="a", net_b="b")])
+        faults.metadata["weight.99"] = "1e-06"
+        faults.metadata["weight.x"] = "2"
+        faults.metadata["weight.1"] = "notanumber"
+        text = faults.dumps()
+        loaded = FaultList.loads(text)
+        # None of the entries bind: the fault keeps no weight and every
+        # line survives the round trip for the lint rule to point at.
+        assert loaded[0].weight is None
+        for key in ("weight.99", "weight.x", "weight.1"):
+            assert key in loaded.metadata
+        assert loaded.dumps() == text
+
+    def test_multi_word_description_round_trip(self):
+        faults = FaultList.from_faults(
+            [BridgingFault(3, probability=1e-6, net_a="out", net_b="in",
+                           description="bridge in-out on metal1")])
+        text = faults.dumps()
+        loaded = FaultList.loads(text)
+        assert loaded[0].description == "bridge in-out on metal1"
+        assert loaded.dumps() == text
+
+    def test_from_faults_refuses_duplicate_ids(self):
+        duplicates = [
+            BridgingFault(1, probability=1e-6, net_a="a", net_b="b"),
+            OpenFault(1, probability=1e-6, device="M1", terminal="gate")]
+        with pytest.raises(FaultError):
+            FaultList.from_faults(duplicates)
+        renumbered = FaultList.from_faults(duplicates, renumber=True)
+        assert [f.fault_id for f in renumbered] == [1, 2]
+
+    def test_effective_weight_prefers_explicit_weight(self):
+        fault = BridgingFault(1, probability=0.25, net_a="a", net_b="b")
+        assert fault.effective_weight == pytest.approx(0.25)
+        fault.weight = 0.5
+        assert fault.effective_weight == pytest.approx(0.5)
+        fault.weight = 0.0
+        assert fault.effective_weight == 0.0
+
+    def test_merge_equivalent_aggregates_weights(self):
+        faults = FaultList("dup")
+        faults.add(BridgingFault(1, probability=1e-8, weight=1e-6,
+                                 net_a="a", net_b="b"))
+        faults.add(BridgingFault(2, probability=2e-8, weight=2e-6,
+                                 net_a="b", net_b="a"))
+        merged = faults.merge_equivalent()
+        assert len(merged) == 1
+        assert merged[0].weight == pytest.approx(3e-6)
+        # One-sided weight: the unweighted member contributes zero weight
+        # (the merge never invents weight from probability).
+        faults.add(BridgingFault(3, probability=4e-8, net_a="a", net_b="b"))
+        merged = faults.merge_equivalent()
+        assert merged[0].weight == pytest.approx(3e-6)
+        assert merged[0].probability == pytest.approx(7e-8)
+
+    def test_total_weight_uses_effective_weights(self):
+        faults = FaultList("mix")
+        faults.add(BridgingFault(1, probability=1e-8, weight=5e-7,
+                                 net_a="a", net_b="b"))
+        faults.add(OpenFault(2, probability=2e-8, device="M1",
+                             terminal="gate"))
+        assert faults.total_weight() == pytest.approx(5e-7 + 2e-8)
+
+
 class TestSchematicFaults:
     def test_vco_counts_match_paper(self, vco_circuit):
         counts = count_schematic_faults(vco_circuit)

@@ -10,7 +10,8 @@ COO→CSC assembly machinery of the sparse system itself.
 import numpy as np
 import pytest
 
-from repro.anafault import CampaignSettings, FaultInjector, FaultSimulator, ToleranceSettings
+from repro.anafault import (CampaignSettings, FaultInjector, FaultSimulator,
+                            PoolExecutor, ToleranceSettings)
 from repro.circuits import build_rc_ladder, build_vco, nominal_transient_settings
 from repro.errors import AnalysisError, SingularMatrixError
 from repro.lift import BridgingFault, FaultList, OpenFault
@@ -215,7 +216,7 @@ class TestCampaignPlumbing:
     def test_parallel_workers_inherit_backend(self, rc_circuit):
         result = FaultSimulator(
             rc_circuit, self._fault_list(),
-            self._settings(solver_backend="sparse")).run(workers=2)
+            self._settings(solver_backend="sparse")).run(executor=PoolExecutor(2))
         assert result.telemetry()["solver_backend"] == "sparse"
         assert all(r.status in ("detected", "undetected")
                    for r in result.records)

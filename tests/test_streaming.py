@@ -27,6 +27,8 @@ from repro.anafault import (
     FaultSimulator,
     InlineNominalStore,
     NominalStore,
+    PoolExecutor,
+    SerialExecutor,
     ToleranceSettings,
     campaign_fingerprint,
     publish_nominal,
@@ -303,7 +305,7 @@ class TestCheckpointResume:
         # telemetry must reflect the serial fallback actually taken even
         # when more workers were requested.
         third = FaultSimulator(rc_circuit, _fault_list(),
-                               _settings()).run(workers=2, checkpoint=path)
+                               _settings()).run(executor=PoolExecutor(2), checkpoint=path)
         telemetry = third.telemetry()
         assert telemetry["record_ipc_bytes_total"] == 0
         assert telemetry["workers"] == 1
@@ -329,7 +331,7 @@ class TestCheckpointResume:
         monkeypatch.undo()
 
         resumed = FaultSimulator(rc_circuit, _fault_list(),
-                                 _settings()).run(workers=2, checkpoint=path)
+                                 _settings()).run(executor=PoolExecutor(2), checkpoint=path)
         baseline = FaultSimulator(rc_circuit, _fault_list(),
                                   _settings()).run()
         assert list(map(_semantic, resumed.records)) == \
@@ -352,9 +354,9 @@ class TestStreamingCampaign:
 
     def test_serial_parallel_equivalent_with_shared_memory(self, rc_circuit):
         serial = FaultSimulator(rc_circuit, _fault_list(),
-                                _settings()).run(workers=1)
+                                _settings()).run(executor=SerialExecutor())
         parallel = FaultSimulator(rc_circuit, _fault_list(),
-                                  _settings()).run(workers=2)
+                                  _settings()).run(executor=PoolExecutor(2))
         assert list(map(_semantic, serial.records)) == \
             list(map(_semantic, parallel.records))
         assert serial.nominal_store == "local"
@@ -366,10 +368,10 @@ class TestStreamingCampaign:
 
     def test_shared_memory_payload_beats_inline(self, rc_circuit):
         shared = FaultSimulator(rc_circuit, _fault_list(),
-                                _settings()).run(workers=2)
+                                _settings()).run(executor=PoolExecutor(2))
         inline = FaultSimulator(
             rc_circuit, _fault_list(),
-            _settings(use_shared_memory=False)).run(workers=2)
+            _settings(use_shared_memory=False)).run(executor=PoolExecutor(2))
         assert inline.nominal_store == "inline"
         assert shared.nominal_ipc_bytes < inline.nominal_ipc_bytes
         assert list(map(_semantic, shared.records)) == \
