@@ -17,6 +17,8 @@ and the adaptive run matching the finest fixed reference grid's period
 while spending a fraction of its Newton solves.
 """
 
+import time
+
 import numpy as np
 
 from repro.circuits import (
@@ -42,7 +44,7 @@ def _period(result) -> float:
     return float((crossings[-1] - crossings[0]) / (len(crossings) - 1))
 
 
-def test_fig3_vco_nominal(benchmark, vco_pair, record, smoke):
+def test_fig3_vco_nominal(benchmark, vco_pair, record, record_json, smoke):
     circuit, layout = vco_pair
 
     # Structure as described in section VI.
@@ -72,11 +74,15 @@ def test_fig3_vco_nominal(benchmark, vco_pair, record, smoke):
     # reference is a fixed grid fine enough for the period to converge
     # (smoke mode uses a coarser reference to stay quick).
     reference_tstep = 2.5e-9 if smoke else 1.25e-9
+    reference_start = time.perf_counter()
     reference = TransientAnalysis(circuit, tstop=settings["tstop"],
                                   tstep=reference_tstep,
                                   use_ic=True).run()
+    reference_seconds = time.perf_counter() - reference_start
+    adaptive_start = time.perf_counter()
     adaptive = TransientAnalysis(circuit, timestep=ADAPTIVE_TIMESTEP,
                                  **settings).run()
+    adaptive_seconds = time.perf_counter() - adaptive_start
 
     fixed_period = _period(result)
     reference_period = _period(reference)
@@ -104,6 +110,16 @@ def test_fig3_vco_nominal(benchmark, vco_pair, record, smoke):
     assert 0.8e6 < adaptive_output.frequency() < 3e6
     assert adaptive.stats["timestep_mode"] == "adaptive"
     assert adaptive.stats["dt_max"] > settings["tstep"]
+    # The variable-order controller must actually climb: at least half of
+    # the accepted steps run at BDF-3 or higher (measured: ~65 %).
+    histogram = adaptive.stats["order_histogram"]
+    accepted = sum(histogram.values())
+    high_order = sum(count for order, count in histogram.items()
+                     if int(order) >= 3)
+    high_order_fraction = high_order / accepted
+    assert high_order_fraction >= 0.5, (
+        f"only {high_order_fraction:.0%} of accepted steps at order >= 3 "
+        f"({histogram})")
 
     reduction = 100.0 * (1.0 - adaptive_solves / reference_solves)
 
@@ -146,8 +162,36 @@ def test_fig3_vco_nominal(benchmark, vco_pair, record, smoke):
         f"{adaptive.stats['dt_max'] * 1e9:.1f} ns;",
         "the 10 ns paper grid under-resolves the switching edges and",
         "mis-measures the period)",
+        f"variable-order BDF: accepted steps per order "
+        + ", ".join(f"{order}:{histogram[order]}"
+                    for order in sorted(histogram)) + " -- "
+        f"{high_order_fraction:.0%} at order >= 3 (asserted >= 50%), "
+        f"{adaptive.stats['order_changes']} order changes",
         "",
         ascii_plot([output], width=70, height=14,
                    title="fault-free V(11) vs time (compare Fig. 4, top)"),
     ]
     record("fig3_vco_nominal.txt", "\n".join(lines) + "\n")
+    record_json("fig3_vco_nominal", {
+        "runs": {
+            "fixed_paper_grid": {"tstep": settings["tstep"],
+                                 "newton_solves": fixed_solves,
+                                 "period_seconds": fixed_period},
+            "fixed_reference": {"tstep": reference_tstep,
+                                "newton_solves": reference_solves,
+                                "period_seconds": reference_period,
+                                "wall_seconds": reference_seconds},
+            "adaptive": {"lte_reltol": ADAPTIVE_TIMESTEP.lte_reltol,
+                         "newton_solves": adaptive_solves,
+                         "period_seconds": adaptive_period,
+                         "wall_seconds": adaptive_seconds,
+                         "order_histogram": histogram,
+                         "order_changes":
+                             adaptive.stats["order_changes"],
+                         "steps_rejected":
+                             adaptive.stats["steps_rejected"]},
+        },
+        "newton_reduction_vs_reference": reduction / 100.0,
+        "high_order_step_fraction": high_order_fraction,
+        "oscillation_frequency_hz": float(output.frequency()),
+    })

@@ -19,6 +19,13 @@ runs the legacy full-trace/pickled-nominal path, and the two must agree
 verdict for verdict while the telemetry table shows the measured IPC and
 trace-memory win.  A second, checkpoint-resumed campaign must reproduce
 the coverage number while re-simulating nothing.
+
+Since the adaptive-campaign PR it also runs the whole campaign under the
+calibrated variable-order BDF integrator (serial and batched) and holds
+its verdicts against both the paper's 10 ns grid and a converged fixed
+reference grid: adaptive may differ from the paper grid only on the few
+faults whose coarse-grid verdict the reference refutes as a truncation
+artifact, while spending far fewer Newton solves than the reference.
 """
 
 import time
@@ -31,6 +38,7 @@ from repro.anafault import (
     ShardExecutor,
     ToleranceSettings,
     WaveformComparator,
+    calibrate_tolerance,
     coverage_plot,
     format_fault_table,
     format_overview,
@@ -38,6 +46,13 @@ from repro.anafault import (
 )
 from repro.circuits import OUTPUT_NODE
 from repro.lint import preflight_campaign
+from repro.spice import TransientOptions
+
+#: LTE tolerances of the adaptive campaign legs — the same knobs the
+#: fig. 3 nominal study settles on (period converged against the fine
+#: fixed reference grid, order >= 3 on most steps).
+ADAPTIVE_TIMESTEP = TransientOptions(mode="adaptive", lte_reltol=3e-3,
+                                     lte_abstol=1e-4, dt_max=8e-8)
 
 
 def _timed_preflight(circuit, faults, settings):
@@ -49,7 +64,8 @@ def _timed_preflight(circuit, faults, settings):
 
 
 def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
-                             smoke, fault_budget, campaign_engine, tmp_path):
+                             record_json, smoke, fault_budget,
+                             campaign_engine, tmp_path):
     circuit, _layout = vco_pair
     faults = cat_extraction.realistic_faults
     if fault_budget is not None:
@@ -161,6 +177,111 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         assert batched_speedup >= 1.5, (
             f"batched executor {batched_seconds:.1f}s vs serial "
             f"{serial_seconds:.1f}s ({batched_speedup:.2f}x < 1.5x)")
+
+    # ------------------------------------------------------------------
+    # Adaptive campaign end-to-end (docs/integration.md, docs/campaigns.md):
+    # calibrate the verdict tolerance on a seeded probe subset, then run
+    # the whole campaign under LTE-controlled variable-order BDF — serial
+    # and batched — and hold it against the fixed-step campaign and a
+    # converged fixed reference grid.  The paper's 10 ns print grid
+    # under-resolves the VCO switching edges (fig. 3 mis-measures the
+    # period by ~4 %), and on a few bridge faults its truncation error
+    # alone decides the verdict: phase drift between the coarse-grid
+    # faulty and nominal runs fabricates a detection every finer grid
+    # refutes (fault #68: deviation 4.66 V at 10 ns vs 0.01 V at 5, 2.5
+    # and 1.25 ns) or hides one every finer grid confirms (#92, #120).
+    # The assertions therefore classify each adaptive-vs-fixed
+    # divergence against the converged reference: adaptive may leave the
+    # paper grid's verdict only where the reference proves that verdict
+    # is the integration artifact, and the Newton-solve saving is
+    # measured against that same reference — the fixed grid of matched
+    # (converged) accuracy.
+    adaptive_settings = replace(streaming_settings,
+                                timestep=ADAPTIVE_TIMESTEP)
+    calibration = calibrate_tolerance(circuit, faults, adaptive_settings,
+                                      probes=min(8, len(faults)))
+    assert calibration.passed, calibration.summary()
+
+    adaptive_start = time.perf_counter()
+    adaptive_run = FaultSimulator(circuit, faults, adaptive_settings).run(
+        executor=SerialExecutor())
+    adaptive_seconds = time.perf_counter() - adaptive_start
+    adaptive_run.calibration.update(calibration.to_dict())
+    adaptive_batched = FaultSimulator(circuit, faults,
+                                      adaptive_settings).run(
+        executor=BatchedExecutor(batch_width=8))
+
+    reference_tstep = 2.5e-9 if smoke else 1.25e-9
+    reference_settings = replace(streaming_settings, tstep=reference_tstep)
+    reference = FaultSimulator(circuit, faults, reference_settings).run(
+        executor=PoolExecutor(2))
+
+    # Adaptive never invents a verdict: fault for fault it either agrees
+    # with the fixed campaign, or sides with the converged reference
+    # against a coarse-grid artifact — and such artifacts stay rare.
+    # Detection times of commonly-detected faults may move only within
+    # the comparator's time tolerance.
+    divergent, timing_sensitive = [], []
+    for adaptive_record, fixed_record, reference_record in zip(
+            adaptive_run.records, result.records, reference.records):
+        if adaptive_record.status != fixed_record.status:
+            assert adaptive_record.status == reference_record.status, (
+                f"fault #{fixed_record.fault.fault_id}: adaptive says "
+                f"{adaptive_record.status!r} against both the paper grid "
+                f"({fixed_record.status!r}) and the converged reference "
+                f"({reference_record.status!r})")
+            divergent.append((fixed_record.fault.fault_id,
+                              fixed_record.status,
+                              adaptive_record.status))
+        elif (adaptive_record.detection_time is not None
+                and fixed_record.detection_time is not None
+                and abs(adaptive_record.detection_time
+                        - fixed_record.detection_time)
+                    > streaming_settings.tolerances.time):
+            # The paper grid's detection *time* is only binding where the
+            # converged reference reproduces it: a phase-drift detection
+            # crosses the threshold at a grid-dependent moment, and on
+            # those faults the reference itself leaves the paper grid's
+            # time (e.g. #90/#93, where adaptive and the reference agree
+            # on 0.86 us against the coarse grid's 2.6 us).
+            reference_agrees_with_fixed = (
+                reference_record.detection_time is not None
+                and abs(reference_record.detection_time
+                        - fixed_record.detection_time)
+                    <= streaming_settings.tolerances.time)
+            assert not reference_agrees_with_fixed, (
+                f"fault #{fixed_record.fault.fault_id}: adaptive detects "
+                f"at {adaptive_record.detection_time:g}s but the paper "
+                f"grid and the converged reference agree on "
+                f"{fixed_record.detection_time:g}s")
+            timing_sensitive.append(fixed_record.fault.fault_id)
+    assert len(divergent) <= max(1, len(faults) // 20), (
+        f"{len(divergent)} of {len(faults)} verdicts left the paper grid: "
+        f"{divergent}")
+    assert len(timing_sensitive) <= max(1, len(faults) // 20), (
+        f"{len(timing_sensitive)} of {len(faults)} detection times are "
+        f"grid-sensitive: {timing_sensitive}")
+    # The batched adaptive run (8 variants in lockstep, each on its own
+    # integration grid, synced at print rows) is field-identical to the
+    # serial adaptive loop.
+    assert ([(r.fault.fault_id, r.status, r.detection_time,
+              r.persistent_deviation) for r in adaptive_batched.records]
+            == [(r.fault.fault_id, r.status, r.detection_time,
+                 r.persistent_deviation) for r in adaptive_run.records])
+
+    adaptive_solves = adaptive_run.telemetry()["newton_iterations_total"]
+    fixed_solves_total = result.telemetry()["newton_iterations_total"]
+    reference_solves = reference.telemetry()["newton_iterations_total"]
+    newton_saving = 1.0 - adaptive_solves / reference_solves
+    solve_floor = 0.25 if smoke else 0.35
+    assert newton_saving >= solve_floor, (
+        f"adaptive campaign spent {adaptive_solves} Newton solves vs "
+        f"{reference_solves} for the converged fixed reference grid "
+        f"({newton_saving:.0%} < {solve_floor:.0%} saving)")
+    order_totals = adaptive_run.telemetry()["order_histogram_total"]
+    high_order_fraction = (
+        sum(count for order, count in order_totals.items()
+            if int(order) >= 3) / sum(order_totals.values()))
 
     # ------------------------------------------------------------------
     # Batch comparator: one stacked (faults x samples) persistence scan
@@ -313,6 +434,70 @@ def test_fig5_fault_coverage(benchmark, vco_pair, cat_extraction, record,
         f"({preflight_seconds / campaign_wall['seconds']:.2%} of the "
         f"{campaign_wall['seconds']:.1f} s campaign; asserted < 1 %)",
         "",
+        "adaptive campaign  (variable-order BDF, calibrated verdict "
+        "tolerance)",
+        f"{'':<26}{'fixed 10ns':>14}"
+        f"{'fixed %.3gns' % (reference_tstep * 1e9):>14}{'adaptive':>14}",
+        "-" * 68,
+        f"{'Newton solves (total)':<26}{fixed_solves_total:>14,}"
+        f"{reference_solves:>14,}{adaptive_solves:>14,}",
+        f"{'fault coverage':<26}{result.fault_coverage():>13.1%} "
+        f"{reference.fault_coverage():>13.1%} "
+        f"{adaptive_run.fault_coverage():>13.1%}",
+        "-" * 68,
+        calibration.summary(),
+        f"adaptive vs converged fixed reference: {newton_saving:.1%} "
+        f"fewer Newton solves (asserted >= {solve_floor:.0%})",
+        ("verdicts identical to the fixed campaign on every fault"
+         if not divergent else
+         f"verdicts identical to the fixed campaign on "
+         f"{len(faults) - len(divergent)} of {len(faults)} faults; "
+         "divergences (each confirmed against the paper grid by the "
+         "converged reference — coarse-grid truncation artifacts): "
+         + ", ".join(f"#{fid} {was}->{now}"
+                     for fid, was, now in divergent)),
+        ("detection times within the comparator tolerance on every "
+         "commonly-detected fault" if not timing_sensitive else
+         f"detection timing grid-sensitive on {len(timing_sensitive)} "
+         "fault(s) ("
+         + ", ".join(f"#{fid}" for fid in timing_sensitive)
+         + "): the converged reference itself leaves the paper grid's "
+         "detection time there, so the time tolerance is asserted only "
+         "against grid-stable detections"),
+        f"serial vs --batch-width 8: record-identical (status, detection "
+        f"time, persistent deviation) on all {len(faults)} variants",
+        f"variable-order BDF: {high_order_fraction:.0%} of accepted steps "
+        "at order >= 3, per-order totals "
+        + ", ".join(f"{order}:{order_totals[order]}"
+                    for order in sorted(order_totals)),
+        "",
         format_fault_table(result, limit=40),
     ]
     record("fig5_fault_coverage.txt", "\n".join(lines) + "\n")
+    record_json("fig5_fault_coverage", {
+        "faults": len(faults),
+        "wall_seconds": {"fixed_campaign": campaign_wall["seconds"],
+                         "adaptive_serial": adaptive_seconds,
+                         "batched_fixed": batched_seconds,
+                         "serial_fixed": serial_seconds},
+        "newton_solves": {"fixed_paper_grid": fixed_solves_total,
+                          "fixed_reference": reference_solves,
+                          "adaptive": adaptive_solves},
+        "reference_tstep": reference_tstep,
+        "newton_saving_vs_reference": newton_saving,
+        "verdicts": {"fixed": result.count_by_status(),
+                     "reference": reference.count_by_status(),
+                     "adaptive": adaptive_run.count_by_status()},
+        "verdict_divergences": [
+            {"fault_id": fid, "fixed": was, "adaptive": now}
+            for fid, was, now in divergent],
+        "timing_sensitive_faults": timing_sensitive,
+        "fault_coverage": result.fault_coverage(),
+        "weighted_coverage":
+            result.coverage().final_weighted_coverage(),
+        "batched_speedup": batched_speedup,
+        "early_aborted": batched_run.early_aborted,
+        "high_order_step_fraction": high_order_fraction,
+        "order_histogram_total": order_totals,
+        "calibration": calibration.to_dict(),
+    })

@@ -24,8 +24,10 @@ exercised end-to-end by every CI smoke pass.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import subprocess
 
 import pytest
 
@@ -87,6 +89,44 @@ def record(results_dir):
         return path
 
     return _record
+
+
+def _git_commit() -> str:
+    """Commit the benchmark ran against (``unknown`` outside a checkout)."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent, capture_output=True,
+            text=True, check=True, timeout=10).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+@pytest.fixture(scope="session")
+def record_json(results_dir):
+    """Store a machine-readable benchmark summary as
+    ``benchmarks/results/BENCH_<name>.json``.
+
+    The human tables of :func:`record` are for reading; these JSON
+    companions are for tooling — CI uploads them as artefacts, and
+    cross-commit comparisons (wall time, Newton solves, verdict counts)
+    diff them without parsing the text tables.  Each payload is stamped
+    with the commit and the smoke flag so a shrunk CI run is never
+    mistaken for the committed full run.
+    """
+
+    def _record_json(name: str, payload: dict) -> pathlib.Path:
+        path = results_dir / f"BENCH_{name}.json"
+        document = {"benchmark": name, "commit": _git_commit(),
+                    "smoke": BENCH_SMOKE}
+        document.update(payload)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        print(f"\n===== {path.name} =====\n"
+              f"{json.dumps(document, indent=2, sort_keys=True)}\n")
+        return path
+
+    return _record_json
 
 
 @pytest.fixture(scope="session")

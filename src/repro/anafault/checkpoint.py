@@ -41,8 +41,9 @@ CHECKPOINT_VERSION = 1
 #: reconstructed from the campaign's fault list on resume, and
 #: ``payload_bytes``, which reports per-run IPC cost and never round-trips).
 RECORD_FIELDS = ("status", "detection_time", "detected_on", "max_deviation",
-                 "elapsed_seconds", "message", "newton_iterations",
-                 "steps_accepted", "steps_rejected", "trace_bytes", "attempt")
+                 "persistent_deviation", "elapsed_seconds", "message",
+                 "newton_iterations", "steps_accepted", "steps_rejected",
+                 "trace_bytes", "attempt", "order_histogram")
 
 #: Settings fields excluded from the fingerprint: they configure how the
 #: engine spends memory and IPC, never what is simulated, so toggling them
@@ -192,13 +193,21 @@ class CampaignCheckpoint:
         self._needs_header = False
 
     # ------------------------------------------------------------------
-    def load(self, fingerprint: str) -> dict[int, dict]:
+    def load(self, fingerprint: str,
+             timestep_mode: str | None = None) -> dict[int, dict]:
         """Payloads of the completed faults, keyed by fault id.
 
         Returns ``{}`` for a missing or empty file.  Raises
         :class:`~repro.errors.CampaignError` when the header belongs to a
         different campaign (fingerprint mismatch) or an incompatible format
         version — resuming would silently mix unrelated results.
+
+        ``timestep_mode`` is the resuming campaign's integration policy
+        (``"fixed"``/``"adaptive"``); when a fingerprint mismatch
+        coincides with a different recorded mode, the error says so
+        explicitly — switching the timestep policy mid-campaign is the
+        common way to hit the mismatch, and the generic fingerprint
+        message gives no hint which setting diverged.
         """
         self.skipped_lines = 0
         self._needs_header = False
@@ -220,6 +229,20 @@ class CampaignCheckpoint:
                             f"{entry.get('version')!r}; this build reads "
                             f"version {CHECKPOINT_VERSION}")
                     if entry.get("fingerprint") != fingerprint:
+                        recorded_mode = entry.get("timestep_mode")
+                        if (timestep_mode is not None
+                                and recorded_mode is not None
+                                and recorded_mode != timestep_mode):
+                            raise CampaignError(
+                                f"checkpoint {self.path} was written by a "
+                                f"timestep={recorded_mode!r} campaign but "
+                                f"this run uses "
+                                f"timestep={timestep_mode!r}; the "
+                                "integration grid is part of the campaign "
+                                "identity, so its records cannot be reused "
+                                "— resume with the original timestep "
+                                "settings, or delete the file to rerun "
+                                "under the new ones")
                         raise CampaignError(
                             f"checkpoint {self.path} belongs to a different "
                             f"campaign (fingerprint "

@@ -68,8 +68,10 @@ import sys
 from ..errors import ReproError
 from ..lift.faultlist import FaultList
 from ..lint import lint_fault_list, lint_netlist_text
+from ..spice import TransientOptions
 from ..spice.parser import parse_netlist_file
 from ..units import parse_value
+from .calibration import calibrate_tolerance
 from .checkpoint import CampaignCheckpoint, campaign_fingerprint, read_header
 from .comparator import ToleranceSettings
 from .executors import (BatchedExecutor, PoolExecutor, ShardExecutor,
@@ -129,6 +131,18 @@ def _add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                           default=ToleranceSettings.time, metavar="T",
                           help="comparator persistence-time tolerance "
                           "(default: %(default)s s)")
+    simulate.add_argument("--timestep", default="fixed",
+                          choices=("fixed", "adaptive"),
+                          help="integration policy: 'fixed' locks every "
+                          "internal step to the print grid (the legacy "
+                          "driver), 'adaptive' enables LTE-controlled "
+                          "variable-step, variable-order BDF integration "
+                          "(default: %(default)s; see docs/integration.md)")
+    simulate.add_argument("--lte-reltol", type=float, default=None,
+                          metavar="R", help="relative local-truncation-"
+                          "error tolerance of the adaptive controller "
+                          "(needs --timestep adaptive; default: "
+                          f"{TransientOptions.lte_reltol})")
     simulate.add_argument("--no-ic", action="store_true",
                           help="start from a DC operating point instead of "
                           "the netlist's initial conditions")
@@ -177,6 +191,17 @@ def _load_campaign(args) -> FaultSimulator:
             "no transient window: pass --tstop/--tstep or put a "
             ".tran card in the netlist")
 
+    if args.lte_reltol is not None and args.timestep != "adaptive":
+        raise ReproError(
+            "--lte-reltol tunes the adaptive LTE controller; it needs "
+            "--timestep adaptive (the fixed grid has no error control)")
+    timestep = TransientOptions()
+    if args.timestep == "adaptive":
+        timestep = (TransientOptions(mode="adaptive")
+                    if args.lte_reltol is None
+                    else TransientOptions(mode="adaptive",
+                                          lte_reltol=args.lte_reltol))
+
     defaults = CampaignSettings()
     observe = (tuple(node.strip() for node in args.observe.split(",")
                      if node.strip())
@@ -189,6 +214,7 @@ def _load_campaign(args) -> FaultSimulator:
         tolerances=ToleranceSettings(args.amplitude_tolerance,
                                      float(args.time_tolerance)),
         solver_backend=args.solver_backend,
+        timestep=timestep,
         preflight=args.preflight)
     return FaultSimulator(parsed.circuit, fault_list, settings)
 
@@ -264,8 +290,28 @@ def _print_preflight(result: CampaignResult, out) -> None:
         print("", file=out)
 
 
+def _calibrate_or_refuse(simulator: FaultSimulator, out):
+    """Run the verdict-tolerance calibration pass a ``--calibrate``
+    campaign leads with; returns the report, or ``None`` when calibration
+    failed and the campaign must be refused (the caller exits 1)."""
+    report = calibrate_tolerance(simulator.circuit, simulator.fault_list,
+                                 simulator.settings)
+    print(report.summary(), file=out)
+    if not report.passed:
+        print("calibration failed: the adaptive tolerance moves verdicts "
+              "on the probe subset; tighten --lte-reltol or run "
+              "--timestep fixed", file=out)
+        return None
+    return report
+
+
 def _cmd_run(args, out) -> int:
     simulator = _load_campaign(args)
+    report = None
+    if args.calibrate:
+        report = _calibrate_or_refuse(simulator, out)
+        if report is None:
+            return 1
     if args.batch_width is not None:
         if args.workers != 1:
             raise ReproError(
@@ -283,6 +329,8 @@ def _cmd_run(args, out) -> int:
         executor = PoolExecutor(args.workers) if args.workers > 1 else None
         result = simulator.run(executor=executor,
                                checkpoint=args.checkpoint)
+    if report is not None:
+        result.calibration.update(report.to_dict())
     _print_preflight(result, out)
     print(format_overview(result), file=out)
     return 0
@@ -290,6 +338,8 @@ def _cmd_run(args, out) -> int:
 
 def _cmd_shard(args, out) -> int:
     simulator = _load_campaign(args)
+    if args.calibrate and _calibrate_or_refuse(simulator, out) is None:
+        return 1
     executor = ShardExecutor(shard_index=args.shard_index,
                              shard_count=args.shard_count,
                              path=args.out, workers=args.workers)
@@ -496,6 +546,13 @@ def _cmd_submit(args, out) -> int:
     """Submit a campaign to a daemon; by default wait for the workers to
     finish it and report exactly like ``run`` (checkpoint included)."""
     simulator = _load_campaign(args)
+    report = None
+    if args.calibrate:
+        # Calibration simulates the probe subset locally — cheap next to
+        # the campaign, and it gates the submit the same way it gates run.
+        report = _calibrate_or_refuse(simulator, out)
+        if report is None:
+            return 1
     address = parse_address(args.addr)
     if args.no_wait:
         from ..spice.writer import write_netlist
@@ -508,6 +565,8 @@ def _cmd_submit(args, out) -> int:
     executor = RemoteExecutor(address, wait_timeout=args.wait_timeout,
                               **_service_options(args))
     result = simulator.run(executor=executor, checkpoint=args.out)
+    if report is not None:
+        result.calibration.update(report.to_dict())
     _print_preflight(result, out)
     print(format_overview(result), file=out)
     service = result.service
@@ -547,13 +606,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="JSONL checkpoint to append to / resume from")
     run.add_argument("--batch-width", type=int, default=None, metavar="K",
                      help="simulate up to K fault variants in lockstep "
-                     "with the batched executor (fixed-step campaigns "
-                     "only; excludes --workers; see docs/batching.md)")
+                     "with the batched executor (excludes --workers; "
+                     "adaptive campaigns advance each variant on its own "
+                     "grid and sync at print rows; see docs/batching.md)")
     run.add_argument("--early-abort", action="store_true",
                      help="with --batch-width: stop a variant's transient "
                      "as soon as its detection verdict is certain "
                      "(verdicts and detection times are unchanged; "
                      "max_deviation covers the simulated prefix only)")
+    run.add_argument("--calibrate", action="store_true",
+                     help="with --timestep adaptive: bound the verdict "
+                     "sensitivity on a seeded probe subset first and "
+                     "refuse the campaign if calibration fails (see "
+                     "docs/campaigns.md)")
 
     shard = commands.add_parser(
         "shard", help="run one shard of a campaign",
@@ -567,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard JSONL output file")
     shard.add_argument("--workers", type=int, default=1, metavar="N",
                        help="process-pool workers for this shard")
+    shard.add_argument("--calibrate", action="store_true",
+                       help="with --timestep adaptive: calibrate the "
+                       "verdict tolerance on a probe subset before "
+                       "simulating the shard (refuses on failure)")
 
     merge = commands.add_parser(
         "merge", help="merge shard files into one result",
@@ -707,6 +776,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override the daemon's bounded attempt count")
     submit.add_argument("--lease-size", type=int, default=None, metavar="K",
                         help="override the daemon's lease-slice budget")
+    submit.add_argument("--calibrate", action="store_true",
+                        help="with --timestep adaptive: calibrate the "
+                        "verdict tolerance locally on a probe subset "
+                        "before submitting (refuses on failure)")
 
     status = commands.add_parser(
         "status", help="print the daemon's status as JSON",

@@ -12,12 +12,37 @@ the band for longer than 0.2 us and is detected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import CampaignError
 from ..spice.waveform import Waveform
+
+
+def _persistent_deviation(deviation: np.ndarray, window: int) -> np.ndarray:
+    """Largest deviation level sustained for a full persistence window:
+    the maximum over all length-``window`` sample runs of the run's
+    *minimum* deviation, vectorised over the last axis.
+
+    This is the comparator's decision scalar — a fault is detected
+    exactly when it exceeds the amplitude tolerance — and therefore the
+    quantity whose stability :func:`repro.anafault.calibrate_tolerance`
+    bounds across integration grids.  Unlike ``max_deviation`` it is
+    blind to non-persistent spikes (edge misalignment glitches), just
+    like the verdict itself.  Grids shorter than the window can never
+    detect and report 0.
+    """
+    if deviation.shape[-1] == 0:
+        return np.zeros(deviation.shape[:-1])
+    if window <= 1:
+        return deviation.max(axis=-1)
+    if deviation.shape[-1] < window:
+        return np.zeros(deviation.shape[:-1])
+    mins = np.lib.stride_tricks.sliding_window_view(
+        deviation, window, axis=-1).min(axis=-1)
+    return mins.max(axis=-1)
 
 
 def _run_lengths(exceeds: np.ndarray) -> np.ndarray:
@@ -57,6 +82,10 @@ class DetectionResult:
     detection_time: float | None
     max_deviation: float
     signal: str = ""
+    #: The comparator's decision scalar (see :func:`_persistent_deviation`):
+    #: the largest deviation sustained for a full persistence window.
+    #: ``detected`` is exactly ``persistent_deviation > amplitude``.
+    persistent_deviation: float = 0.0
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.detected
@@ -90,18 +119,21 @@ class WaveformComparator:
         deviation = self.deviation(nominal, faulty)
         exceeds = deviation > self.tolerances.amplitude
         max_deviation = float(deviation.max()) if deviation.size else 0.0
-        if not np.any(exceeds):
-            return DetectionResult(False, None, max_deviation, signal)
         window = self._persistence_window(faulty.x)
+        persistent = float(_persistent_deviation(deviation, window))
+        if not np.any(exceeds):
+            return DetectionResult(False, None, max_deviation, signal,
+                                   persistent)
         if window <= 1:
             first = int(np.argmax(exceeds))
             return DetectionResult(True, float(faulty.x[first]), max_deviation,
-                                   signal)
+                                   signal, persistent)
         hits = np.nonzero(_run_lengths(exceeds) >= window)[0]
         if hits.size == 0:
-            return DetectionResult(False, None, max_deviation, signal)
+            return DetectionResult(False, None, max_deviation, signal,
+                                   persistent)
         return DetectionResult(True, float(faulty.x[int(hits[0])]),
-                               max_deviation, signal)
+                               max_deviation, signal, persistent)
 
     def compare_batch(self, nominal: Waveform, faulty: list[Waveform],
                       signal: str = "") -> list[DetectionResult]:
@@ -136,13 +168,15 @@ class WaveformComparator:
         exceeds = deviation > self.tolerances.amplitude
         max_deviation = deviation.max(axis=1)
         window = self._persistence_window(times)
+        persistent = _persistent_deviation(deviation, window)
         hits = exceeds if window <= 1 else _run_lengths(exceeds) >= window
         detected = hits.any(axis=1)
         first = hits.argmax(axis=1)
         return [DetectionResult(bool(detected[row]),
                                 float(times[first[row]]) if detected[row]
                                 else None,
-                                float(max_deviation[row]), signal)
+                                float(max_deviation[row]), signal,
+                                float(persistent[row]))
                 for row in range(len(faulty))]
 
     def compare_many(self, nominal: dict[str, Waveform],
@@ -153,17 +187,21 @@ class WaveformComparator:
         """
         best: DetectionResult | None = None
         worst_deviation = 0.0
+        worst_persistent = 0.0
         for signal, nominal_wave in nominal.items():
             if signal not in faulty:
                 continue
             result = self.compare(nominal_wave, faulty[signal], signal)
             worst_deviation = max(worst_deviation, result.max_deviation)
+            worst_persistent = max(worst_persistent,
+                                   result.persistent_deviation)
             if result.detected and (best is None or best.detection_time is None
                                     or result.detection_time < best.detection_time):
                 best = result
         if best is not None:
             return best
-        return DetectionResult(False, None, worst_deviation)
+        return DetectionResult(False, None, worst_deviation,
+                               persistent_deviation=worst_persistent)
 
 
 @dataclass
@@ -175,6 +213,11 @@ class _SignalScan:
     run: int = 0
     max_deviation: float = 0.0
     first_hit: int | None = None
+    #: Running :func:`_persistent_deviation` over the fed prefix.
+    persistent: float = 0.0
+    #: Monotonic (index, deviation) min-queue of the current window — the
+    #: streaming form of the sliding-window minimum.
+    minq: deque = field(default_factory=deque)
 
 
 class StreamingDetector:
@@ -195,9 +238,10 @@ class StreamingDetector:
     The incremental form is also what makes early abort sound: the
     moment :attr:`decided` turns true, ``detected``/``detection_time``/
     ``signal`` are provably fixed — later samples can only grow
-    ``max_deviation``.  A campaign aborting a variant at that point gets
-    the serial verdict and detection time exactly; only the reported
-    ``max_deviation`` (and step counters) stop short of the full trace.
+    ``max_deviation`` and ``persistent_deviation``.  A campaign aborting
+    a variant at that point gets the serial verdict and detection time
+    exactly; only the reported deviations (and step counters) stop short
+    of the full trace.
     """
 
     def __init__(self, comparator: WaveformComparator,
@@ -249,13 +293,28 @@ class StreamingDetector:
             raise CampaignError(
                 f"StreamingDetector fed {index + 1} samples but the grid "
                 f"has only {self._times.size}")
+        window = self._window
         for scan in self._scans:
             deviation = abs(values[scan.name] - scan.nominal_y[index])
             if deviation > scan.max_deviation:
                 scan.max_deviation = deviation
+            if window <= 1:
+                scan.persistent = scan.max_deviation
+            else:
+                # Sliding-window minimum via a monotonic queue: the head
+                # holds the current window's minimum deviation, and the
+                # running maximum of that is _persistent_deviation.
+                minq = scan.minq
+                while minq and minq[-1][1] >= deviation:
+                    minq.pop()
+                minq.append((index, deviation))
+                while minq[0][0] <= index - window:
+                    minq.popleft()
+                if index >= window - 1 and minq[0][1] > scan.persistent:
+                    scan.persistent = minq[0][1]
             if deviation > self._amplitude:
                 scan.run += 1
-                if scan.run >= self._window and scan.first_hit is None:
+                if scan.run >= window and scan.first_hit is None:
                     scan.first_hit = index
                     if self._decision is None:
                         self._decision = (index, scan)
@@ -269,14 +328,19 @@ class StreamingDetector:
         Identical to ``compare_many`` on the completed waveforms once the
         whole grid has been fed; callable earlier for early-aborted
         variants (the verdict fields are final then, ``max_deviation``
-        covers the fed prefix only).
+        and ``persistent_deviation`` cover the fed prefix only).
         """
         if self._decision is not None:
             index, scan = self._decision
             return DetectionResult(True, float(self._times[index]),
-                                   float(scan.max_deviation), scan.name)
+                                   float(scan.max_deviation), scan.name,
+                                   float(scan.persistent))
         worst = 0.0
+        worst_persistent = 0.0
         for scan in self._scans:
             if scan.max_deviation > worst:
                 worst = scan.max_deviation
-        return DetectionResult(False, None, float(worst))
+            if scan.persistent > worst_persistent:
+                worst_persistent = scan.persistent
+        return DetectionResult(False, None, float(worst),
+                               persistent_deviation=float(worst_persistent))

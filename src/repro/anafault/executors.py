@@ -86,6 +86,7 @@ def record_from_payload(fault: Fault, payload: dict,
         detection_time=payload.get("detection_time"),
         detected_on=str(payload.get("detected_on") or ""),
         max_deviation=float(payload.get("max_deviation") or 0.0),
+        persistent_deviation=float(payload.get("persistent_deviation") or 0.0),
         elapsed_seconds=float(payload.get("elapsed_seconds") or 0.0),
         message=str(payload.get("message") or ""),
         newton_iterations=int(payload.get("newton_iterations") or 0),
@@ -94,7 +95,9 @@ def record_from_payload(fault: Fault, payload: dict,
         trace_bytes=int(payload.get("trace_bytes") or 0),
         payload_bytes=0,
         reloaded=reloaded,
-        attempt=int(payload.get("attempt") or 1))
+        attempt=int(payload.get("attempt") or 1),
+        order_histogram={str(k): int(v) for k, v in
+                         (payload.get("order_histogram") or {}).items()})
 
 
 # ---------------------------------------------------------------------------
@@ -309,9 +312,10 @@ class BatchedExecutor:
     A variant that fails to converge mid-batch (including
     ``SingularMatrixError`` and the ``dt_min`` floor) is evicted to the
     same failure record serial execution produces, without perturbing its
-    siblings.  Requires the campaign's ``timestep`` mode to be ``fixed``
-    (the adaptive driver cannot be paused at print points) and raises
-    :class:`~repro.errors.CampaignError` otherwise.
+    siblings.  Adaptive-timestep campaigns batch too: each variant
+    integrates on its own adaptive step/order grid while the lockstep
+    loop synchronises on the shared print grid, so verdicts (evaluated on
+    print rows) match serial adaptive execution exactly.
 
     Per-record ``elapsed_seconds`` is the variant's injection time plus an
     equal share of the batch's kernel time (lockstep work is not
@@ -338,12 +342,6 @@ class BatchedExecutor:
     def execute(self, simulator, plan: CampaignPlan, nominal: dict,
                 emit: EmitCallback) -> ExecutionInfo:
         """Run ``plan.pending`` in lockstep batches, emitting in plan order."""
-        mode = getattr(simulator.settings.timestep, "mode", "fixed")
-        if mode != "fixed":
-            raise CampaignError(
-                "BatchedExecutor requires timestep mode='fixed' (lockstep "
-                f"advancement pauses at print points), got {mode!r}; run "
-                "adaptive campaigns with SerialExecutor or PoolExecutor")
         info = ExecutionInfo(executor=self.name,
                              batch_width=self.batch_width)
         pending = plan.pending

@@ -130,6 +130,13 @@ class FaultSimulationRecord:
     detection_time: float | None = None
     detected_on: str = ""
     max_deviation: float = 0.0
+    #: The comparator's decision scalar — the largest deviation sustained
+    #: for a full persistence window (see
+    #: :func:`repro.anafault.comparator._persistent_deviation`); the
+    #: verdict is exactly ``persistent_deviation > amplitude tolerance``,
+    #: and :func:`repro.anafault.calibrate_tolerance` bounds its shift
+    #: across integration grids.
+    persistent_deviation: float = 0.0
     elapsed_seconds: float = 0.0
     message: str = ""
     #: Linear solves spent by the transient kernel on this fault (workload
@@ -157,6 +164,11 @@ class FaultSimulationRecord:
     #: kernel-work totals in :meth:`CampaignResult.telemetry` stay
     #: single-counted; ``attempts_total`` surfaces the consumed retries.
     attempt: int = 1
+    #: Accepted transient steps per integration order (string order key →
+    #: count, matching ``TransientResult.stats["order_histogram"]``).
+    #: ``{"1": n}``/``{"2": n}`` for fixed-step runs, the variable-order
+    #: BDF spread for adaptive ones; empty when the simulation failed.
+    order_histogram: dict = field(default_factory=dict)
 
     @property
     def detected(self) -> bool:
@@ -179,19 +191,25 @@ def record_from_comparison(fault: Fault, comparison: DetectionResult,
     trace_bytes = int(stats.get("trace_bytes", 0))
     steps_accepted = int(stats.get("steps_accepted", 0))
     steps_rejected = int(stats.get("steps_rejected", 0))
+    order_histogram = {str(k): int(v)
+                       for k, v in (stats.get("order_histogram") or {}).items()}
+    persistent = float(getattr(comparison, "persistent_deviation", 0.0))
     if comparison.detected:
         return FaultSimulationRecord(
             fault, STATUS_DETECTED, detection_time=comparison.detection_time,
             detected_on=comparison.signal,
             max_deviation=comparison.max_deviation,
+            persistent_deviation=persistent,
             elapsed_seconds=elapsed_seconds,
             newton_iterations=iterations, trace_bytes=trace_bytes,
-            steps_accepted=steps_accepted, steps_rejected=steps_rejected)
+            steps_accepted=steps_accepted, steps_rejected=steps_rejected,
+            order_histogram=order_histogram)
     return FaultSimulationRecord(
         fault, STATUS_UNDETECTED, max_deviation=comparison.max_deviation,
+        persistent_deviation=persistent,
         elapsed_seconds=elapsed_seconds, newton_iterations=iterations,
         trace_bytes=trace_bytes, steps_accepted=steps_accepted,
-        steps_rejected=steps_rejected)
+        steps_rejected=steps_rejected, order_histogram=order_histogram)
 
 
 @dataclass
@@ -249,6 +267,11 @@ class CampaignResult:
     #: and the per-worker throughput table (empty for local executors).
     #: See :mod:`repro.anafault.service` and ``docs/service.md``.
     service: dict = field(default_factory=dict)
+    #: Verdict-sensitivity calibration attached by
+    #: :func:`repro.anafault.calibrate_tolerance` (the
+    #: ``CalibrationReport.to_dict()`` payload; empty when the campaign
+    #: ran uncalibrated).  Surfaced verbatim in :meth:`telemetry`.
+    calibration: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._fault_index: dict[int, FaultSimulationRecord] = {}
@@ -332,6 +355,10 @@ class CampaignResult:
                 + int(self.nominal_stats.get("steps_rejected", 0)),
             "dt_min": float(self.nominal_stats.get("dt_min", 0.0)),
             "dt_max": float(self.nominal_stats.get("dt_max", 0.0)),
+            "order_histogram_total": self._order_histogram_total(),
+            "order_changes_nominal": int(
+                self.nominal_stats.get("order_changes", 0)),
+            "calibration": dict(self.calibration),
             "nominal_elapsed_seconds": self.nominal_elapsed_seconds,
             "total_elapsed_seconds": self.total_elapsed_seconds,
             "fault_seconds_total": sum(elapsed),
@@ -377,6 +404,22 @@ class CampaignResult:
             "faultgen_collapsed": self._faultgen_meta("faultgen_collapsed"),
             "faultgen_sampled": self._faultgen_meta("faultgen_sampled"),
         }
+
+    def _order_histogram_total(self) -> dict:
+        """Accepted steps per integration order, campaign-wide: the
+        nominal run's histogram plus every non-reloaded fault record's
+        (reloaded records' kernel work was counted by the run that
+        produced them, matching :meth:`total_newton_iterations`)."""
+        total: dict[str, int] = {}
+        for key, value in (self.nominal_stats.get("order_histogram")
+                           or {}).items():
+            total[str(key)] = total.get(str(key), 0) + int(value)
+        for record in self._live_records():
+            if record.reloaded:
+                continue
+            for key, value in (record.order_histogram or {}).items():
+                total[str(key)] = total.get(str(key), 0) + int(value)
+        return dict(sorted(total.items()))
 
     def _faultgen_meta(self, key: str) -> int:
         """Integer faultgen counter from the fault-list metadata (0 when
@@ -595,7 +638,10 @@ class FaultSimulator:
         if checkpoint is not None:
             from .checkpoint import CampaignCheckpoint
 
-            completed = CampaignCheckpoint.coerce(checkpoint).load(fingerprint)
+            completed = CampaignCheckpoint.coerce(checkpoint).load(
+                fingerprint,
+                timestep_mode=getattr(self.settings.timestep, "mode",
+                                      "fixed"))
         preloaded: dict[int, FaultSimulationRecord] = {}
         pending: list[int] = []
         for index in indices:
@@ -672,12 +718,12 @@ class FaultSimulator:
                 # CI leg: REPRO_FORCE_BATCHED=<width> substitutes the
                 # batched executor for the serial default, so the whole
                 # tier-1 suite doubles as a batched-vs-serial differential
-                # harness.  Only the defaultable case is forced (explicit
-                # executors and adaptive-mode campaigns keep their path).
+                # harness — for fixed *and* adaptive campaigns (lockstep
+                # synchronises adaptive variants on the shared print
+                # grid).  Only the defaultable case is forced (explicit
+                # executors keep their path).
                 forced = os.environ.get("REPRO_FORCE_BATCHED", "").strip()
-                if (forced and forced != "0"
-                        and getattr(self.settings.timestep, "mode",
-                                    "fixed") == "fixed"):
+                if forced and forced != "0":
                     width = int(forced) if forced.isdigit() else 4
                     executor = BatchedExecutor(batch_width=max(1, width))
         executor_checkpoint = getattr(executor, "checkpoint", None)
@@ -728,9 +774,11 @@ class FaultSimulator:
 
         try:
             if checkpoint_store is not None:
-                extra = ({"shard_index": plan.shard_index,
-                          "shard_count": plan.shard_count}
-                         if plan.sharded else None)
+                extra = {"timestep_mode": getattr(self.settings.timestep,
+                                                  "mode", "fixed")}
+                if plan.sharded:
+                    extra.update(shard_index=plan.shard_index,
+                                 shard_count=plan.shard_count)
                 checkpoint_store.start(plan.fingerprint,
                                        campaign=self.fault_list.name,
                                        extra=extra)

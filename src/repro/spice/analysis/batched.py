@@ -357,10 +357,13 @@ class BatchedTransient:
     """Advance K fault-variant transients in lockstep.
 
     ``analyses`` are fully configured :class:`TransientAnalysis` instances
-    (one per variant) in ``mode="fixed"`` — the adaptive driver cannot be
-    paused at print points and is rejected with :class:`AnalysisError`.
-    All variants must produce the same print grid (same ``tstop`` /
-    ``tstep``), which a campaign guarantees by construction.
+    (one per variant).  Fixed-step variants advance exactly one print row
+    per :meth:`TransientRun.advance`; adaptive variants integrate on their
+    own step/order grid and may emit several print rows per advance, so
+    the lockstep loop only advances a variant whose ``output_index`` still
+    trails the shared print row.  All variants must produce the same print
+    grid (same ``tstop`` / ``tstep``), which a campaign guarantees by
+    construction.
 
     ``numerics="exact"`` (default) keeps every variant's arithmetic
     identical to a serial run.  ``numerics="shared"`` additionally serves
@@ -385,12 +388,6 @@ class BatchedTransient:
         analyses = list(analyses)
         if not analyses:
             raise AnalysisError("a batched transient needs >= 1 variant")
-        for analysis in analyses:
-            if analysis.timestep.mode != "fixed":
-                raise AnalysisError(
-                    "batched transients require timestep mode='fixed' "
-                    f"(got {analysis.timestep.mode!r}); run adaptive "
-                    "campaigns serially")
         if numerics not in NUMERICS_MODES:
             raise AnalysisError(
                 f"unknown batched numerics mode {numerics!r} "
@@ -509,6 +506,11 @@ class BatchedTransient:
         print_index = 1
         while live:
             for index in sorted(live):
+                # An adaptive variant may have emitted several print rows
+                # in one advance; only poke it while it still trails the
+                # shared print row (fixed variants always advance here).
+                if self.runs[index].output_index > print_index:
+                    continue
                 try:
                     self.runs[index].advance()
                 except (ConvergenceError, SingularMatrixError) as exc:
@@ -516,8 +518,13 @@ class BatchedTransient:
                     live.discard(index)
             if observe is not None and live:
                 self._stop(live, observe(print_index, sorted(live)))
+            # An exhausted adaptive variant may still hold print rows the
+            # observer has not been shown (one advance can emit many rows
+            # ahead of the lockstep cursor); keep it live — idle but
+            # observed — until the cursor has swept its whole grid.
+            grid_done = print_index + 1 >= len(self.times)
             live = {index for index in live
-                    if not self.runs[index].exhausted}
+                    if not (self.runs[index].exhausted and grid_done)}
             print_index += 1
         return self
 

@@ -41,7 +41,10 @@ class SimulationOptions:
     itl4: int = 60
     #: Simulation temperature [degrees Celsius].
     temperature: float = DEFAULT_TEMPERATURE_C
-    #: Transient integration method: "trap" or "be" (backward Euler).
+    #: Transient integration method ladder: "trap" (default; BE first
+    #: step, trapezoidal, BDF-3..5 under the adaptive order controller),
+    #: "gear"/"bdf" (BE first step, then BDF-2..5) or "be" (backward
+    #: Euler pinned at order 1).
     integration: str = "trap"
     #: Largest node-voltage change applied per Newton iteration [V].
     max_voltage_step: float = 10.0
@@ -65,6 +68,19 @@ class SimState:
         #: Companion-model coefficients published by the transient driver.
         self.integ_c0 = 0.0
         self.integ_c1 = 0.0
+        #: Predictor polynomial evaluated at the new time point (full
+        #: solution vector) and its time derivative, published by the
+        #: transient driver for fixed-leading-coefficient BDF steps
+        #: (``None`` for trap/BE steps — the legacy two-term companion
+        #: formula applies then).  With these set, a companion element
+        #: stamps ``geq = integ_c0 * C`` and
+        #: ``ieq = C * (pred_dv - integ_c0 * pred_v)`` so the corrector
+        #: solves ``x' = pred_dx + integ_c0 * (x - pred_x)``; the matrix
+        #: still depends only on ``integ_c0`` (the fixed leading
+        #: coefficient), which is what keeps the per-step-size
+        #: factorisation caches valid across BDF orders.
+        self.integ_pred_x: np.ndarray | None = None
+        self.integ_pred_dx: np.ndarray | None = None
         self.gmin = options.gmin
         self.temperature = options.temperature
         #: Scale factor applied to independent sources (source stepping).
@@ -86,6 +102,18 @@ class SimState:
         if index < 0:
             return 0.0
         return float(self.x[index].real)
+
+    def pred(self, index: int) -> float:
+        """Predictor value of matrix row ``index`` (ground rows return 0)."""
+        if index < 0 or self.integ_pred_x is None:
+            return 0.0
+        return float(self.integ_pred_x[index])
+
+    def pred_d(self, index: int) -> float:
+        """Predictor derivative of row ``index`` (ground rows return 0)."""
+        if index < 0 or self.integ_pred_dx is None:
+            return 0.0
+        return float(self.integ_pred_dx[index])
 
 
 class MNABuilder:

@@ -8,16 +8,23 @@ Two timestep policies are available, selected by :class:`TransientOptions`:
     which is what the campaign checkpoints key on.
 
 ``mode="adaptive"``
-    A local-truncation-error (LTE) controlled variable-step integrator.
-    Each accepted step is checked against a per-node error tolerance using
-    the classic predictor-corrector estimate — a divided-difference
-    polynomial extrapolated through the accepted state history is compared
-    against the trap/BE corrector solution — and the next step size follows
-    the standard ``(tol/lte)^(1/(p+1))`` controller with growth clamps.
-    Print points are filled by polynomial interpolation of matching order,
-    so smooth intervals are integrated with steps far larger than the
-    print interval (fewer Newton solves), while switching edges are
-    refined below it.
+    A local-truncation-error (LTE) controlled variable-step,
+    *variable-order* integrator.  Each accepted step is checked against a
+    per-node error tolerance using the classic predictor-corrector
+    estimate — a divided-difference polynomial extrapolated through the
+    accepted state history is compared against the corrector solution —
+    and the next step size follows the standard ``(tol/lte)^(1/(p+1))``
+    controller with growth clamps.  On top of the order-2 trap/BE pair the
+    driver runs fixed-leading-coefficient BDF (Gear) methods up to order
+    ``TransientOptions.max_order`` (default 5): after each accepted step
+    the error estimate one order below and above the current order is
+    formed from higher divided differences of the history, and the order
+    whose controller would allow the largest next step wins (with a bias
+    towards staying put and a hold-off after every change).  Print points
+    are filled by polynomial interpolation of matching order, so smooth
+    intervals are integrated with steps far larger than the print
+    interval (fewer Newton solves), while switching edges are refined
+    below it at low order.
 
 The linear algebra of every timestep goes through the solver backend
 selected for the circuit (:mod:`repro.spice.analysis.backends`): dense
@@ -49,6 +56,32 @@ MAX_PRINT_POINTS = 5_000_000
 
 #: Recognised :attr:`TransientOptions.mode` values.
 TIMESTEP_MODES = ("fixed", "adaptive")
+
+#: Highest supported integration order (BDF-5; BDF-6 is barely stable and
+#: never worth its history bookkeeping in practice).
+MAX_BDF_ORDER = 5
+
+#: ``alpha_s(k) = sum_{j=1..k} 1/j`` — the fixed leading coefficient of the
+#: BDF-k corrector ``x'_n = P'(t_n) + alpha_s/h * (x_n - P(t_n))`` where
+#: ``P`` is the degree-k predictor polynomial through the last ``k+1``
+#: accepted points (the DASSL formulation; on a uniform grid it reduces to
+#: the textbook BDF formulas, and at k=1 to backward Euler on any grid).
+_ALPHA_S = {k: sum(1.0 / j for j in range(1, k + 1))
+            for k in range(1, MAX_BDF_ORDER + 1)}
+
+#: Accepted steps required between step-size *increases* while running at
+#: BDF order k.  Variable-step BDF recurrences lose zero-stability under
+#: sustained geometric step growth (the tolerable consecutive-ratio bound
+#: shrinks rapidly with order); isolated sqrt(2)-rung jumps separated by
+#: this many uniform steps keep the error amplification bounded at every
+#: order (measured on analytic references; growth at orders 1-2 is
+#: unrestricted, as the legacy trap/BE driver had it).
+_BDF_GROW_HOLD = {3: 1, 4: 2, 5: 5}
+
+#: Largest single-step growth ratio at BDF orders >= 3: one quantisation
+#: ladder rung (sqrt(2)), with head room so the floor-quantiser still
+#: lands on the next rung.
+_BDF_GROW_CAP = 1.5
 
 
 @dataclass
@@ -114,6 +147,16 @@ class TransientOptions:
     #: Capacity of the per-step-size factorisation LRU cache used by the
     #: linear-bypass path (least recently used step sizes are evicted).
     solver_cache_size: int = 16
+    #: Highest integration order the adaptive order controller may select:
+    #: 1 = backward Euler, 2 = trapezoidal (or BDF-2 under
+    #: ``SimulationOptions.integration="gear"``), 3..5 = BDF-k.  Fixed mode
+    #: and ``integration="be"`` ignore it.
+    max_order: int = MAX_BDF_ORDER
+    #: Lowest order the controller may select once the startup ramp has
+    #: built enough history (the ramp itself always starts at order 1).
+    #: Pinning ``min_order == max_order == k`` forces BDF-k, which is how
+    #: the convergence-order tests isolate a single method.
+    min_order: int = 1
 
     def validate(self) -> None:
         """Raise :class:`~repro.errors.AnalysisError` on unusable knobs."""
@@ -140,6 +183,10 @@ class TransientOptions:
             raise AnalysisError("dt_min must not exceed dt_max")
         if self.solver_cache_size < 1:
             raise AnalysisError("solver_cache_size must be >= 1")
+        if not 1 <= self.min_order <= self.max_order <= MAX_BDF_ORDER:
+            raise AnalysisError(
+                f"need 1 <= min_order <= max_order <= {MAX_BDF_ORDER}, got "
+                f"min_order={self.min_order}, max_order={self.max_order}")
 
 
 class _LRUCache:
@@ -428,177 +475,6 @@ class TransientAnalysis:
             return self.timestep.dt_min
         return self.tstep * self.options.min_step_fraction
 
-    def _run_adaptive(self, builder: MNABuilder, state: SimState,
-                      times: np.ndarray, emit) -> dict:
-        """The LTE-controlled variable-step driver (``mode="adaptive"``).
-
-        Per accepted step, the corrector solution is compared against a
-        divided-difference predictor extrapolated through the accepted
-        state history; the resulting per-node LTE estimate is tested
-        against ``lte_reltol``/``lte_abstol`` and the next step follows the
-        ``(tol/lte)^(1/(p+1))`` controller, clamped to
-        ``[dt_shrink, dt_grow]`` per decision and ``[dt_min, dt_max]``
-        overall.  Print points inside an accepted step are filled by
-        polynomial interpolation of the same order as the method.
-        """
-        topts = self.timestep
-        options = self.options
-        use_trap = options.integration.lower().startswith("trap")
-        tstop = float(times[-1])
-        dt_floor = self._dt_floor()
-        dt_cap = topts.dt_max if topts.dt_max is not None else 8.0 * self.tstep
-        dt_cap = max(dt_cap, dt_floor)
-        eps = 1e-12 * max(self.tstep, tstop)
-
-        linear = builder.is_linear
-        lu_cache = _LRUCache(topts.solver_cache_size)
-        newton_iterations = 0
-        accepted_steps = 0
-        rejected_steps = 0
-        dt_smallest = math.inf
-        dt_largest = 0.0
-
-        # Accepted state history (time-ascending, most recent last): up to
-        # three points, enough for the quadratic predictor/interpolant.
-        history_t: list[float] = [0.0]
-        history_x: list[np.ndarray] = [state.x.copy()]
-
-        if topts.dt_initial is not None:
-            step = topts.dt_initial
-        else:
-            step = self.tstep * options.min_step_fraction
-        step = min(max(step, dt_floor), dt_cap)
-        first_step_done = False
-        next_output = 1
-        last_ratio = 0.0
-
-        while state.time < tstop - eps:
-            dt = min(step, tstop - state.time)
-            if not topts.interpolate_prints and next_output < len(times):
-                dt = min(dt, times[next_output] - state.time)
-            clamped = dt < step * (1.0 - 1e-12)
-            while True:
-                trap_now = use_trap and first_step_done
-                order = 2 if trap_now else 1
-                if trap_now:
-                    state.integ_c0 = 2.0 / dt
-                    state.integ_c1 = 1.0
-                else:
-                    state.integ_c0 = 1.0 / dt
-                    state.integ_c1 = 0.0
-                state.dt = dt
-                saved_time = state.time
-                saved_x = state.x.copy()
-                predicted = self._predict(history_t, history_x,
-                                          saved_time + dt, order)
-                state.time = saved_time + dt
-                try:
-                    if linear:
-                        self._solve_linear_step(builder, state, lu_cache)
-                        newton_iterations += 1
-                    else:
-                        guess = saved_x
-                        if topts.predictor_guess and predicted is not None:
-                            guess = predicted
-                        solve_newton(builder, state, x0=guess,
-                                     max_iterations=options.itl4)
-                        newton_iterations += state.last_newton_iterations
-                except (ConvergenceError, SingularMatrixError) as exc:
-                    state.time = saved_time
-                    state.x = saved_x
-                    rejected_steps += 1
-                    if dt <= dt_floor * (1.0 + 1e-9):
-                        raise TransientError(
-                            f"adaptive transient step hit the dt_min="
-                            f"{dt_floor:g}s floor at t={saved_time:g}s "
-                            f"(last LTE ratio {last_ratio:.3g}, {exc})"
-                            ) from exc
-                    dt = max(0.5 * dt, dt_floor)
-                    step = dt
-                    clamped = False
-                    continue
-                ratio = 0.0
-                if predicted is not None:
-                    ratio = self._lte_ratio(state.x, predicted, saved_x,
-                                            builder, history_t, dt, order)
-                    last_ratio = ratio
-                if ratio > 1.0:
-                    if dt <= dt_floor * (1.0 + 1e-9):
-                        # The floor forbids further refinement; accept the
-                        # step rather than looping forever (the tolerance
-                        # is advisory at the floor, and matches SPICE
-                        # practice of integrating through discontinuities
-                        # at the minimum step).
-                        break
-                    state.time = saved_time
-                    state.x = saved_x
-                    rejected_steps += 1
-                    shrink = topts.safety * ratio ** (-1.0 / (order + 1))
-                    shrink = min(max(shrink, topts.dt_shrink), 0.5)
-                    dt = max(dt * shrink, dt_floor)
-                    if topts.quantize_steps:
-                        dt = max(quantize_step(dt, self.tstep), dt_floor)
-                    step = dt
-                    clamped = False
-                    continue
-                break
-
-            builder.accept_timestep(state)
-            first_step_done = True
-            accepted_steps += 1
-            dt_smallest = min(dt_smallest, dt)
-            dt_largest = max(dt_largest, dt)
-
-            # Print points covered by this step: interpolate (or copy the
-            # endpoint when the step landed on one).
-            while (next_output < len(times)
-                   and times[next_output] <= state.time + eps):
-                t_out = times[next_output]
-                if t_out >= state.time - eps:
-                    emit(next_output, state.x)
-                else:
-                    emit(next_output, self._interpolate(
-                        history_t, history_x, state.time, state.x, t_out))
-                next_output += 1
-
-            history_t.append(state.time)
-            history_x.append(state.x.copy())
-            if len(history_t) > 3:
-                history_t.pop(0)
-                history_x.pop(0)
-
-            # Step-size controller for the next step.
-            if ratio > 0.0:
-                grow = topts.safety * ratio ** (-1.0 / (order + 1))
-                grow = min(max(grow, topts.dt_shrink), topts.dt_grow)
-            else:
-                grow = topts.dt_grow
-            candidate = min(max(dt * grow, dt_floor), dt_cap)
-            if topts.quantize_steps:
-                candidate = max(quantize_step(candidate, self.tstep),
-                                dt_floor)
-            if clamped:
-                # A step clamped to tstop/a print target says nothing about
-                # accuracy at the controller's own size; never shrink below
-                # the standing step because of it.
-                step = max(step, candidate)
-            else:
-                step = candidate
-
-        # The final accepted step lands on ``tstop`` within ``eps``, so
-        # every output row has normally been emitted; flush any stragglers
-        # (float pathology) with the final state rather than leaving zeros.
-        while next_output < len(times):
-            emit(next_output, state.x)
-            next_output += 1
-        return {
-            "newton_iterations": newton_iterations,
-            "steps_accepted": accepted_steps,
-            "steps_rejected": rejected_steps,
-            "dt_min": 0.0 if accepted_steps == 0 else dt_smallest,
-            "dt_max": dt_largest,
-        }
-
     # ------------------------------------------------------------------
     # LTE estimator helpers
     # ------------------------------------------------------------------
@@ -761,9 +637,13 @@ class TransientRun:
     zero), which is how early-aborted batch variants surface their partial
     statistics.
 
-    ``mode="adaptive"`` cannot be paused at print points (accepted steps
-    interpolate across them), so for that mode the first :meth:`advance`
-    runs the whole analysis in one call.
+    ``mode="adaptive"`` integrates on its own internal grid and fills print
+    points by interpolation, so one :meth:`advance` takes accepted steps
+    until *at least one* new print row has been produced — a single call
+    may emit several rows (a large step interpolating across many print
+    intervals) and :attr:`output_index` jumps accordingly.  Lockstep
+    drivers must therefore only advance a run whose ``output_index`` has
+    not yet passed the row they are about to read.
     """
 
     def __init__(self, analysis: TransientAnalysis):
@@ -814,21 +694,63 @@ class TransientRun:
         #: Number of linear solves served by a hook-provided shared solver.
         self.solves_shared = 0
 
-        self._adaptive = analysis.timestep.mode == "adaptive"
-        self._use_trap = analysis.options.integration.lower().startswith(
-            "trap")
+        topts = analysis.timestep
+        self._adaptive = topts.mode == "adaptive"
+        integration = analysis.options.integration.lower()
+        self._use_trap = integration.startswith("trap")
+        #: Order ceiling by method ladder: "trap" (default) runs
+        #: BE/trap/BDF-3..5, "gear"/"bdf" runs BE/BDF-2..5, anything else
+        #: ("be") is pinned to backward Euler as it always was.
+        if self._use_trap or integration in ("gear", "bdf"):
+            self._max_order = topts.max_order
+        else:
+            self._max_order = 1
+        self._min_order = min(topts.min_order, self._max_order)
         self._min_step = analysis._dt_floor()
         self._step = analysis.tstep
         self._first_step_done = False
         self._linear = builder.is_linear
-        self._lu_cache = _LRUCache(analysis.timestep.solver_cache_size)
+        self._lu_cache = _LRUCache(topts.solver_cache_size)
         self._newton_iterations = 0
         self._accepted_steps = 0
         self._rejected_steps = 0
         self._dt_smallest = math.inf
         self._dt_largest = 0.0
-        self._adaptive_counters: dict | None = None
         self._output_index = 1
+        # --- adaptive-driver state (untouched in fixed mode) ---
+        tstop = float(self.times[-1])
+        self._tstop = tstop
+        self._eps = 1e-12 * max(analysis.tstep, tstop)
+        dt_cap = topts.dt_max if topts.dt_max is not None \
+            else 8.0 * analysis.tstep
+        self._dt_cap = max(dt_cap, self._min_step)
+        #: Accepted state history (time-ascending, most recent last).  The
+        #: capacity covers the highest-order predictor (max_order+1 points)
+        #: plus one extra point for the raise-order error estimate.
+        self._history_cap = self._max_order + 2
+        self._history_t: list[float] = [0.0]
+        self._history_x: list[np.ndarray] = [state.x.copy()]
+        if self._adaptive:
+            if topts.dt_initial is not None:
+                step = topts.dt_initial
+            else:
+                step = analysis.tstep * analysis.options.min_step_fraction
+            self._step = min(max(step, self._min_step), self._dt_cap)
+        self._last_ratio = 0.0
+        #: Order the controller wants next (effective order additionally
+        #: ramps with the available history).
+        self._desired_order = max(min(2, self._max_order), self._min_order)
+        #: Accepted steps to wait before the next order change is allowed.
+        self._order_hold = 0
+        self._lte_rejects_in_row = 0
+        self._steps_since_grow = 0
+        self._last_accepted_dt: float | None = None
+        # Telemetry: accepted steps and accumulated step size per order,
+        # plus the number of order transitions between accepted steps.
+        self._order_counts: dict[int, int] = {}
+        self._order_dt_sum: dict[int, float] = {}
+        self._order_changes = 0
+        self._last_order: int | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -885,16 +807,408 @@ class TransientRun:
         if self._output_index >= len(self.times):
             return False
         if self._adaptive:
-            # The adaptive driver interpolates print points inside accepted
-            # steps and cannot pause between them: run it to completion.
-            self._adaptive_counters = self.analysis._run_adaptive(
-                self.builder, self.state, self.times, self._write)
-            self._output_index = len(self.times)
-            return False
-        self._advance_fixed()
-        self._write(self._output_index, self.state.x)
-        self._output_index += 1
+            self._advance_adaptive()
+        else:
+            self._advance_fixed()
+            self._write(self._output_index, self.state.x)
+            self._output_index += 1
         return self._output_index < len(self.times)
+
+    # ------------------------------------------------------------------
+    # Adaptive (LTE-controlled, variable-order) driver
+    # ------------------------------------------------------------------
+    def _effective_order(self) -> int:
+        """Order actually run next, ramping with the available history.
+
+        Trap (order 2) needs two accepted points; BDF-k needs ``k+1`` for
+        its predictor polynomial.  The very first step is always backward
+        Euler (it damps the inconsistent initial derivative), exactly as
+        the legacy driver took it.
+        """
+        if not self._first_step_done:
+            return 1
+        avail = len(self._history_t)
+        k = min(max(self._desired_order, self._min_order), self._max_order)
+        while k > 1 and avail < self._min_history(k):
+            k -= 1
+        return k
+
+    def _min_history(self, order: int) -> int:
+        """Accepted history points required to run at ``order``."""
+        if order == 2 and self._use_trap:
+            return 2
+        return order + 1
+
+    def _method_for(self, order: int) -> str:
+        """Integration method implementing ``order``: be / trap / bdf."""
+        if order == 1:
+            return "be"
+        if order == 2 and self._use_trap:
+            return "trap"
+        return "bdf"
+
+    def _cap_order(self, ceiling: int) -> None:
+        """Clamp the desired order (history invalidation heuristics)."""
+        ceiling = max(ceiling, self._min_order)
+        if self._desired_order > ceiling:
+            self._desired_order = ceiling
+            self._order_hold = 2
+
+    def _record_order(self, order: int, dt: float) -> None:
+        self._order_counts[order] = self._order_counts.get(order, 0) + 1
+        self._order_dt_sum[order] = self._order_dt_sum.get(order, 0.0) + dt
+        if self._last_order is not None and order != self._last_order:
+            self._order_changes += 1
+        self._last_order = order
+
+    def _divided_difference(self, m: int) -> np.ndarray:
+        """Order-``m`` divided difference over the newest ``m+1`` accepted
+        points (an estimate of ``x^(m)/m!`` used by the order selector)."""
+        ts = self._history_t[-(m + 1):]
+        table = [x for x in self._history_x[-(m + 1):]]
+        for level in range(1, m + 1):
+            for i in range(m - level + 1):
+                table[i] = ((table[i + 1] - table[i])
+                            / (ts[i + level] - ts[i]))
+        return table[0]
+
+    def _predictor_poly(self, order: int,
+                        t_new: float) -> tuple[np.ndarray, np.ndarray]:
+        """Value and derivative at ``t_new`` of the degree-``order`` Newton
+        polynomial through the newest ``order+1`` accepted points."""
+        n = order + 1
+        ts = self._history_t[-n:]
+        coeffs = [x for x in self._history_x[-n:]]
+        for level in range(1, n):
+            for i in range(n - 1, level - 1, -1):
+                coeffs[i] = ((coeffs[i] - coeffs[i - 1])
+                             / (ts[i] - ts[i - level]))
+        value = coeffs[-1].copy()
+        deriv = np.zeros_like(value)
+        for i in range(n - 2, -1, -1):
+            span = t_new - ts[i]
+            deriv = deriv * span + value
+            value = value * span + coeffs[i]
+        return value, deriv
+
+    def _lte_ratio_bdf(self, corrected: np.ndarray, predicted: np.ndarray,
+                       previous: np.ndarray, dt: float, order: int) -> float:
+        """BDF-``order`` counterpart of the trap/BE corrector-predictor
+        LTE estimate (same tolerance semantics, generalized coefficient).
+
+        The predictor misses the true solution by the interpolation
+        remainder ``x^(k+1)/(k+1)! * prod(t_n - t_hist)`` while the
+        corrector's LTE is ``h^(k+1)/((k+1)*alpha_s(k)) * x^(k+1)``, so
+        the LTE is the corrector-predictor difference scaled by
+        ``num / (prod/(k+1)! + num)`` — which reduces exactly to the
+        legacy BE/trap coefficients at orders 1/2.
+        """
+        topts = self.analysis.timestep
+        t_new = self.state.time
+        prod = 1.0
+        for i in range(1, order + 2):
+            prod *= t_new - self._history_t[-i]
+        num = dt ** (order + 1) / ((order + 1) * _ALPHA_S[order])
+        coefficient = num / (prod / math.factorial(order + 1) + num)
+        nodes = self.builder.num_nodes
+        if nodes == 0:
+            return 0.0
+        error = coefficient * np.abs(corrected[:nodes] - predicted[:nodes])
+        reference = np.maximum(np.abs(corrected[:nodes]),
+                               np.abs(previous[:nodes]))
+        tolerance = topts.lte_reltol * reference + topts.lte_abstol
+        return float(np.max(error / tolerance))
+
+    def _order_eta(self, order: int, dt: float) -> float:
+        """Step-growth factor order ``order`` would have allowed for the
+        just-accepted step, from divided differences of the history
+        (including the new point), clamped to the controller's own
+        ``[dt_shrink, dt_grow]`` range.
+
+        The clamp is load-bearing: once a method meets tolerance so
+        comfortably that its controller saturates at ``dt_grow``, *every*
+        order saturates and the comparison reports a tie — so wide-open
+        tolerances (or a step pinned at ``dt_max``) never flap the order.
+        """
+        topts = self.analysis.timestep
+        if len(self._history_t) < order + 2:
+            return 0.0
+        dd = self._divided_difference(order + 1)
+        if order == 1:
+            # BE: LTE = h^2/2 * x'' and x'' ~ 2*dd2.
+            weight = dt * dt
+        elif order == 2 and self._use_trap:
+            # trap: LTE = h^3/12 * x''' and x''' ~ 6*dd3.
+            weight = dt ** 3 / 2.0
+        else:
+            # BDF-k: LTE = h^(k+1)/((k+1)*alpha_s) * x^(k+1),
+            # x^(k+1) ~ (k+1)! * dd_(k+1).
+            weight = dt ** (order + 1) * math.factorial(order) \
+                / _ALPHA_S[order]
+        nodes = self.builder.num_nodes
+        if nodes == 0:
+            return topts.dt_grow
+        x = self.state.x
+        error = weight * np.abs(dd[:nodes])
+        tolerance = topts.lte_reltol * np.abs(x[:nodes]) + topts.lte_abstol
+        ratio = float(np.max(error / tolerance))
+        if ratio <= 0.0:
+            return topts.dt_grow
+        eta = topts.safety * ratio ** (-1.0 / (order + 1))
+        return min(max(eta, topts.dt_shrink), topts.dt_grow)
+
+    #: Advantage factor a neighbouring order must show over the current
+    #: one before the controller moves (hysteresis against order flapping).
+    ORDER_BIAS = 1.2
+
+    def _consider_order_change(self, order: int, dt: float,
+                               clamped: bool) -> None:
+        """Pick the order of the next step after an accepted one.
+
+        Raising is only considered when the accepted step ran at the
+        controller's own size (neither clamped to a print target/tstop nor
+        sitting at ``dt_max`` — a capped step gains nothing from a higher
+        order, and the wide-open-tolerance regime keeps its exact legacy
+        trap arithmetic this way).
+        """
+        if self._order_hold > 0:
+            self._order_hold -= 1
+            return
+        eta_keep = self._order_eta(order, dt)
+        if eta_keep <= 0.0:
+            return
+        best_order, best_eta = order, eta_keep
+        if order > max(1, self._min_order):
+            eta_down = self._order_eta(order - 1, dt)
+            if eta_down > best_eta * self.ORDER_BIAS:
+                best_order, best_eta = order - 1, eta_down
+        can_raise = (not clamped
+                     and order < self._max_order
+                     and dt < self._dt_cap * (1.0 - 1e-12)
+                     and len(self._history_t) >= order + 3)
+        if can_raise:
+            eta_up = self._order_eta(order + 1, dt)
+            if eta_up > best_eta * self.ORDER_BIAS:
+                best_order, best_eta = order + 1, eta_up
+        if best_order != order:
+            self._desired_order = best_order
+            self._order_hold = best_order + 1
+        else:
+            self._desired_order = order
+
+    def _interpolate_output(self, t_out: float, order: int) -> np.ndarray:
+        """Dense output at ``t_out`` inside the just-accepted step,
+        matching the integration order (legacy quadratic at orders <= 2)."""
+        state = self.state
+        if order <= 2:
+            return TransientAnalysis._interpolate(
+                self._history_t, self._history_x, state.time, state.x, t_out)
+        points = min(order, len(self._history_t))
+        ts = self._history_t[-points:] + [state.time]
+        xs = self._history_x[-points:] + [state.x]
+        coeffs = list(xs)
+        n = len(ts)
+        for level in range(1, n):
+            for i in range(n - 1, level - 1, -1):
+                coeffs[i] = ((coeffs[i] - coeffs[i - 1])
+                             / (ts[i] - ts[i - level]))
+        value = coeffs[-1].copy()
+        for i in range(n - 2, -1, -1):
+            value = value * (t_out - ts[i]) + coeffs[i]
+        return value
+
+    def _advance_adaptive(self) -> None:
+        """Take accepted steps until at least one new print row is emitted.
+
+        This is the legacy one-shot ``_run_adaptive`` loop body made
+        incremental (so lockstep batch drivers can interleave variants),
+        plus the variable-order machinery: the step attempt consults
+        :meth:`_effective_order`, BDF steps publish the predictor
+        polynomial to the device stamps through the simulation state, and
+        each accepted step lets the order controller reconsider.  At
+        orders <= 2 the arithmetic is operation-for-operation the legacy
+        trap/BE driver's.
+        """
+        analysis = self.analysis
+        topts = analysis.timestep
+        options = analysis.options
+        state = self.state
+        times = self.times
+        tstop = self._tstop
+        eps = self._eps
+        dt_floor = self._min_step
+        emitted = False
+
+        while not emitted and state.time < tstop - eps:
+            dt = min(self._step, tstop - state.time)
+            if not topts.interpolate_prints and self._output_index < len(times):
+                dt = min(dt, times[self._output_index] - state.time)
+            clamped = dt < self._step * (1.0 - 1e-12)
+            while True:
+                order = self._effective_order()
+                method = self._method_for(order)
+                if method == "bdf":
+                    state.integ_c0 = _ALPHA_S[order] / dt
+                    state.integ_c1 = 0.0
+                    pred_x, pred_dx = self._predictor_poly(
+                        order, state.time + dt)
+                    state.integ_pred_x = pred_x
+                    state.integ_pred_dx = pred_dx
+                    predicted = pred_x
+                else:
+                    state.integ_pred_x = None
+                    state.integ_pred_dx = None
+                    if method == "trap":
+                        state.integ_c0 = 2.0 / dt
+                        state.integ_c1 = 1.0
+                    else:
+                        state.integ_c0 = 1.0 / dt
+                        state.integ_c1 = 0.0
+                    predicted = TransientAnalysis._predict(
+                        self._history_t, self._history_x,
+                        state.time + dt, order)
+                state.dt = dt
+                saved_time = state.time
+                saved_x = state.x.copy()
+                state.time = saved_time + dt
+                try:
+                    if self._linear:
+                        self._solve_linear_step()
+                        self._newton_iterations += 1
+                    else:
+                        guess = saved_x
+                        if topts.predictor_guess and predicted is not None:
+                            guess = predicted
+                        solve_newton(self.builder, state, x0=guess,
+                                     max_iterations=options.itl4)
+                        self._newton_iterations += \
+                            state.last_newton_iterations
+                except (ConvergenceError, SingularMatrixError) as exc:
+                    state.time = saved_time
+                    state.x = saved_x
+                    self._rejected_steps += 1
+                    # A Newton failure usually marks a discontinuity; the
+                    # polynomial history across it is worthless, so drop
+                    # back to the legacy pair while re-trying smaller.
+                    self._cap_order(2 if self._use_trap else 1)
+                    if dt <= dt_floor * (1.0 + 1e-9):
+                        raise TransientError(
+                            f"adaptive transient step hit the dt_min="
+                            f"{dt_floor:g}s floor at t={saved_time:g}s "
+                            f"(last LTE ratio {self._last_ratio:.3g}, {exc})"
+                            ) from exc
+                    dt = max(0.5 * dt, dt_floor)
+                    self._step = dt
+                    clamped = False
+                    continue
+                ratio = 0.0
+                if predicted is not None:
+                    if method == "bdf":
+                        ratio = self._lte_ratio_bdf(state.x, predicted,
+                                                    saved_x, dt, order)
+                    else:
+                        ratio = analysis._lte_ratio(
+                            state.x, predicted, saved_x, self.builder,
+                            self._history_t, dt, order)
+                    self._last_ratio = ratio
+                if ratio > 1.0:
+                    if dt <= dt_floor * (1.0 + 1e-9):
+                        # The floor forbids further refinement; accept the
+                        # step rather than looping forever (the tolerance
+                        # is advisory at the floor, and matches SPICE
+                        # practice of integrating through discontinuities
+                        # at the minimum step).
+                        break
+                    state.time = saved_time
+                    state.x = saved_x
+                    self._rejected_steps += 1
+                    self._lte_rejects_in_row += 1
+                    if self._lte_rejects_in_row >= 2:
+                        # Repeated LTE rejects mean the high-order history
+                        # no longer describes the waveform (sharp edge).
+                        self._cap_order(2 if self._use_trap else 1)
+                    shrink = topts.safety * ratio ** (-1.0 / (order + 1))
+                    shrink = min(max(shrink, topts.dt_shrink), 0.5)
+                    dt = max(dt * shrink, dt_floor)
+                    if topts.quantize_steps:
+                        dt = max(quantize_step(dt, analysis.tstep), dt_floor)
+                    self._step = dt
+                    clamped = False
+                    continue
+                break
+
+            self.builder.accept_timestep(state)
+            state.integ_pred_x = None
+            state.integ_pred_dx = None
+            self._first_step_done = True
+            self._lte_rejects_in_row = 0
+            if (self._last_accepted_dt is not None
+                    and dt > self._last_accepted_dt * (1.0 + 1e-12)):
+                self._steps_since_grow = 0
+            else:
+                self._steps_since_grow += 1
+            self._last_accepted_dt = dt
+            self._accepted_steps += 1
+            self._dt_smallest = min(self._dt_smallest, dt)
+            self._dt_largest = max(self._dt_largest, dt)
+            self._record_order(order, dt)
+
+            # Print points covered by this step: interpolate (or copy the
+            # endpoint when the step landed on one).
+            while (self._output_index < len(times)
+                   and times[self._output_index] <= state.time + eps):
+                t_out = times[self._output_index]
+                if t_out >= state.time - eps:
+                    self._write(self._output_index, state.x)
+                else:
+                    self._write(self._output_index,
+                                self._interpolate_output(t_out, order))
+                self._output_index += 1
+                emitted = True
+
+            self._history_t.append(state.time)
+            self._history_x.append(state.x.copy())
+            if len(self._history_t) > self._history_cap:
+                self._history_t.pop(0)
+                self._history_x.pop(0)
+
+            # Step-size controller for the next step.
+            if ratio > 0.0:
+                grow = topts.safety * ratio ** (-1.0 / (order + 1))
+                grow = min(max(grow, topts.dt_shrink), topts.dt_grow)
+            else:
+                grow = topts.dt_grow
+            candidate = min(max(dt * grow, dt_floor), self._dt_cap)
+            if topts.quantize_steps:
+                candidate = max(quantize_step(candidate, analysis.tstep),
+                                dt_floor)
+            if order >= 3 and candidate > dt * (1.0 + 1e-12):
+                # High-order growth gate (see _BDF_GROW_HOLD): one ladder
+                # rung at a time, spaced by enough uniform steps.
+                if self._steps_since_grow < _BDF_GROW_HOLD[order]:
+                    candidate = dt
+                else:
+                    candidate = min(candidate, _BDF_GROW_CAP * dt)
+                    if topts.quantize_steps:
+                        candidate = max(
+                            quantize_step(candidate, analysis.tstep),
+                            dt_floor)
+            if clamped:
+                # A step clamped to tstop/a print target says nothing about
+                # accuracy at the controller's own size; never shrink below
+                # the standing step because of it.
+                self._step = max(self._step, candidate)
+            else:
+                self._step = candidate
+            self._consider_order_change(order, dt, clamped)
+
+        # The final accepted step lands on ``tstop`` within ``eps``, so
+        # every output row has normally been emitted; flush any stragglers
+        # (float pathology) with the final state rather than leaving zeros.
+        if state.time >= tstop - eps:
+            while self._output_index < len(times):
+                self._write(self._output_index, state.x)
+                self._output_index += 1
 
     def _advance_fixed(self) -> None:
         """One print interval of the legacy fixed-step driver.
@@ -920,9 +1234,11 @@ class TransientRun:
                 # first step (damps the inconsistent initial derivative),
                 # trapezoidal afterwards if requested.
                 if self._use_trap and self._first_step_done:
+                    order_used = 2
                     state.integ_c0 = 2.0 / dt
                     state.integ_c1 = 1.0
                 else:
+                    order_used = 1
                     state.integ_c0 = 1.0 / dt
                     state.integ_c1 = 0.0
                 state.dt = dt
@@ -956,6 +1272,7 @@ class TransientRun:
             self._accepted_steps += 1
             self._dt_smallest = min(self._dt_smallest, dt)
             self._dt_largest = max(self._dt_largest, dt)
+            self._record_order(order_used, dt)
             # Gentle step recovery towards the print interval, driven
             # only by genuinely accepted adaptive steps (a clamped final
             # sub-step leaves the adaptive step untouched).
@@ -1020,17 +1337,24 @@ class TransientRun:
                            for name, index in builder.node_index.items()
                            if name not in node_traces}
 
-        if self._adaptive_counters is not None:
-            counters = self._adaptive_counters
-        else:
-            counters = {
-                "newton_iterations": self._newton_iterations,
-                "steps_accepted": self._accepted_steps,
-                "steps_rejected": self._rejected_steps,
-                "dt_min": (0.0 if self._accepted_steps == 0
-                           else self._dt_smallest),
-                "dt_max": self._dt_largest,
-            }
+        counters = {
+            "newton_iterations": self._newton_iterations,
+            "steps_accepted": self._accepted_steps,
+            "steps_rejected": self._rejected_steps,
+            "dt_min": (0.0 if self._accepted_steps == 0
+                       else self._dt_smallest),
+            "dt_max": self._dt_largest,
+            # Order telemetry (str keys so the dicts survive a JSON
+            # checkpoint round-trip unchanged): accepted steps per
+            # integration order, mean accepted step size per order, and
+            # how often consecutive accepted steps changed order.
+            "order_histogram": {str(order): count for order, count
+                                in sorted(self._order_counts.items())},
+            "steps_per_order": {
+                str(order): self._order_dt_sum[order] / count
+                for order, count in sorted(self._order_counts.items())},
+            "order_changes": self._order_changes,
+        }
         stats = {
             "linear_bypass": builder.is_linear,
             "solver_backend": builder.backend.name,

@@ -202,7 +202,14 @@ class CompanionCapacitor:
     Used both by the explicit :class:`~repro.spice.devices.passives.Capacitor`
     device and by the MOSFET terminal capacitances.  The companion model uses
     the integration coefficients published by the transient driver in the
-    simulation state (``state.integ_c0``, ``state.integ_c1``).
+    simulation state (``state.integ_c0``, ``state.integ_c1``).  For
+    fixed-leading-coefficient BDF steps the driver additionally publishes
+    the predictor solution/derivative vectors (``state.integ_pred_x`` /
+    ``state.integ_pred_dx``); the equivalent current then comes from the
+    predicted branch voltage and its derivative instead of the one-step
+    ``v_prev``/``i_prev`` history, while ``geq`` stays
+    ``integ_c0 * C`` — the matrix depends on the leading coefficient only,
+    at every order.
     """
 
     def __init__(self, capacitance: float):
@@ -214,11 +221,19 @@ class CompanionCapacitor:
         self.v_prev = v_initial
         self.i_prev = 0.0
 
+    def _ieq(self, state, pos: int, neg: int, geq: float) -> float:
+        if state.integ_pred_x is not None:
+            # BDF corrector: i = C*x' with x' = dpred + c0*(v - vpred).
+            v_pred = state.pred(pos) - state.pred(neg)
+            dv_pred = state.pred_d(pos) - state.pred_d(neg)
+            return self.capacitance * dv_pred - geq * v_pred
+        return -(geq * self.v_prev + state.integ_c1 * self.i_prev)
+
     def stamp_tran(self, system, state, pos: int, neg: int) -> None:
         if self.capacitance <= 0.0:
             return
         geq = state.integ_c0 * self.capacitance
-        ieq = -(geq * self.v_prev + state.integ_c1 * self.i_prev)
+        ieq = self._ieq(state, pos, neg, geq)
         stamp_conductance(system, pos, neg, geq)
         # Branch current i = geq*v + ieq flows from pos to neg.
         stamp_current_source(system, pos, neg, ieq)
@@ -234,7 +249,7 @@ class CompanionCapacitor:
             return
         v_now = state.v(pos) - state.v(neg)
         geq = state.integ_c0 * self.capacitance
-        ieq = -(geq * self.v_prev + state.integ_c1 * self.i_prev)
+        ieq = self._ieq(state, pos, neg, geq)
         self.i_prev = geq * v_now + ieq
         self.v_prev = v_now
 
@@ -311,32 +326,40 @@ class CompanionCapacitorBank:
         i_prev = np.fromiter((cap.i_prev for cap in self.caps), float, count)
         return v_prev, i_prev
 
+    def _ieq(self, state, geq: np.ndarray) -> np.ndarray:
+        if state.integ_pred_x is not None:
+            v_pred = self._gather(state.integ_pred_x)
+            dv_pred = self._gather(state.integ_pred_dx)
+            return self.capacitance * dv_pred - geq * v_pred
+        v_prev, i_prev = self._history()
+        return -(geq * v_prev + state.integ_c1 * i_prev)
+
     def stamp_tran(self, system, state) -> None:
         """Equivalent of calling ``CompanionCapacitor.stamp_tran`` on every
         registered capacitance."""
         if not self.caps:
             return
-        v_prev, i_prev = self._history()
         geq = state.integ_c0 * self.capacitance
-        ieq = -(geq * v_prev + state.integ_c1 * i_prev)
+        ieq = self._ieq(state, geq)
         system.scatter(self._m_index[0], self._m_index[1],
                        self._m_sign * geq[self._m_cap])
         system.scatter_rhs(self._r_rows, self._r_sign * ieq[self._r_cap])
 
-    def _branch_voltages(self, state) -> np.ndarray:
-        x = state.x
+    def _gather(self, x: np.ndarray) -> np.ndarray:
         v_pos = np.where(self._pos_grounded, 0.0, x[self._pos_clipped])
         v_neg = np.where(self._neg_grounded, 0.0, x[self._neg_clipped])
         return v_pos - v_neg
+
+    def _branch_voltages(self, state) -> np.ndarray:
+        return self._gather(state.x)
 
     def accept(self, state) -> None:
         """Equivalent of calling ``CompanionCapacitor.accept`` on every
         registered capacitance: commit the accepted timestep to history."""
         if not self.caps:
             return
-        v_prev, i_prev = self._history()
         geq = state.integ_c0 * self.capacitance
-        ieq = -(geq * v_prev + state.integ_c1 * i_prev)
+        ieq = self._ieq(state, geq)
         v_now = self._branch_voltages(state)
         i_now = geq * v_now + ieq
         for cap, v, i in zip(self.caps, v_now.tolist(), i_now.tolist()):

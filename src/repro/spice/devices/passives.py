@@ -129,8 +129,14 @@ class Inductor(Device):
         system.add(br, neg, -1.0)
         if state.mode == "tran":
             req = state.integ_c0 * self.inductance
-            # Branch equation: v(pos) - v(neg) - req*i = -(req*i_prev + c1*v_prev)
-            veq = -(req * self._i_prev + state.integ_c1 * self._v_prev)
+            if state.integ_pred_x is not None:
+                # BDF corrector: v = L*i' with i' = dpred + c0*(i - ipred).
+                veq = self.inductance * (
+                    state.pred_d(br) - state.integ_c0 * state.pred(br))
+            else:
+                # Branch equation:
+                # v(pos) - v(neg) - req*i = -(req*i_prev + c1*v_prev)
+                veq = -(req * self._i_prev + state.integ_c1 * self._v_prev)
             system.add(br, br, -req)
             system.add_rhs(br, veq)
         # DC: v(pos) - v(neg) = 0 (ideal short), nothing more to stamp.

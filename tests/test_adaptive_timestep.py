@@ -361,7 +361,9 @@ class TestCampaignPinning:
         FaultSimulator(circuit, faults, settings).run(checkpoint=path)
         adaptive_settings = dataclasses.replace(
             settings, timestep=TransientOptions(mode="adaptive"))
-        with pytest.raises(CampaignError):
+        with pytest.raises(CampaignError,
+                           match="timestep='fixed' campaign.*"
+                                 "timestep='adaptive'"):
             FaultSimulator(circuit, faults, adaptive_settings).run(
                 checkpoint=path)
 

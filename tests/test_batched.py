@@ -104,6 +104,7 @@ def _semantic(record) -> tuple:
         return None
     return (record.fault.fault_id, record.status, record.detection_time,
             record.detected_on, record.max_deviation,
+            record.persistent_deviation,
             record.newton_iterations, record.steps_accepted,
             record.steps_rejected, record.trace_bytes)
 
@@ -554,12 +555,16 @@ class TestKnobs:
         with pytest.raises(CampaignError, match="numerics"):
             BatchedExecutor(numerics="turbo")
 
-    def test_adaptive_campaigns_refused(self, rc_circuit):
+    def test_adaptive_campaigns_batch_like_serial(self, rc_circuit):
         settings = dataclasses.replace(
             _settings(), timestep=TransientOptions(mode="adaptive"))
-        with pytest.raises(CampaignError, match="fixed"):
-            FaultSimulator(rc_circuit, _fault_list(choices=[0]),
-                           settings).run(executor=BatchedExecutor())
+        batched = FaultSimulator(rc_circuit, _fault_list(), settings).run(
+            executor=BatchedExecutor(batch_width=3))
+        serial = FaultSimulator(rc_circuit, _fault_list(), settings).run(
+            executor=SerialExecutor())
+        assert batched.executor == "batched"
+        assert ([_semantic(r) for r in batched.records]
+                == [_semantic(r) for r in serial.records])
 
     def test_env_forces_batched_default_executor(self, rc_circuit,
                                                  monkeypatch):
@@ -580,15 +585,19 @@ class TestKnobs:
                                 _settings()).run()
         assert result.batch_width == width
 
-    def test_env_force_leaves_adaptive_campaigns_serial(self, rc_circuit,
-                                                        monkeypatch):
+    def test_env_force_batches_adaptive_campaigns(self, rc_circuit,
+                                                  monkeypatch):
         monkeypatch.setenv("REPRO_FORCE_BATCHED", "3")
         settings = dataclasses.replace(
             _settings(), timestep=TransientOptions(mode="adaptive"))
-        result = FaultSimulator(rc_circuit, _fault_list(choices=[0]),
+        forced = FaultSimulator(rc_circuit, _fault_list(choices=[0]),
                                 settings).run()
-        assert result.executor == "serial"
-        assert result.batch_width == 0
+        assert forced.executor == "batched"
+        assert forced.batch_width == 3
+        serial = FaultSimulator(rc_circuit, _fault_list(choices=[0]),
+                                settings).run(executor=SerialExecutor())
+        assert ([_semantic(r) for r in forced.records]
+                == [_semantic(r) for r in serial.records])
 
     def test_env_force_never_overrides_an_explicit_executor(self, rc_circuit,
                                                             monkeypatch):
